@@ -1,0 +1,91 @@
+// Command sweep collects a characterization grid — the per-sample,
+// per-setting time/energy matrix — for one benchmark and writes it as JSON.
+//
+// Usage:
+//
+//	sweep -bench gobmk [-space coarse|fine] [-o grid.json]
+//	sweep -workload my-app.json            # user-defined workload file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcdvfs"
+	"mcdvfs/internal/sim"
+	"mcdvfs/internal/trace"
+	"mcdvfs/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (see -list)")
+	workloadFile := flag.String("workload", "", "JSON workload definition file (alternative to -bench)")
+	space := flag.String("space", "coarse", "setting space: coarse (70) or fine (496)")
+	out := flag.String("o", "", "output file (default stdout)")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if err := run(*bench, *workloadFile, *space, *out, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, workloadFile, spaceName, out string, list bool) error {
+	if list {
+		for _, name := range mcdvfs.Benchmarks() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+	var space *mcdvfs.Space
+	switch spaceName {
+	case "coarse":
+		space = mcdvfs.CoarseSpace()
+	case "fine":
+		space = mcdvfs.FineSpace()
+	default:
+		return fmt.Errorf("unknown space %q", spaceName)
+	}
+
+	var grid *mcdvfs.Grid
+	switch {
+	case workloadFile != "":
+		f, err := os.Open(workloadFile)
+		if err != nil {
+			return err
+		}
+		b, err := workload.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		sys, err := sim.New(sim.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		grid, err = trace.Collect(sys, b, space)
+		if err != nil {
+			return err
+		}
+	case bench != "":
+		var err error
+		grid, err = mcdvfs.Collect(bench, space)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("missing -bench or -workload (use -list to see built-ins)")
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return grid.WriteJSON(w)
+}

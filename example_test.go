@@ -1,0 +1,158 @@
+package mcdvfs_test
+
+import (
+	"fmt"
+	"log"
+
+	"mcdvfs"
+	"mcdvfs/internal/trace"
+)
+
+// exampleGrid builds a tiny hand-written grid: two samples over a 2x2
+// setting space with exact numbers, so the examples below have stable
+// output. Real use collects grids with mcdvfs.Collect.
+func exampleGrid() *mcdvfs.Grid {
+	settings := []mcdvfs.Setting{
+		{CPU: 500, Mem: 400}, {CPU: 500, Mem: 800},
+		{CPU: 1000, Mem: 400}, {CPU: 1000, Mem: 800},
+	}
+	mk := func(t, e float64) trace.Measurement {
+		return trace.Measurement{TimeNS: t, CPUEnergyJ: e}
+	}
+	return &mcdvfs.Grid{
+		Benchmark:   "example",
+		SampleInstr: 10_000_000,
+		Settings:    settings,
+		Data: [][]trace.Measurement{
+			// A CPU-bound sample: memory frequency barely matters.
+			{mk(200, 2.0), mk(199, 2.4), mk(99, 3.0), mk(100, 3.4)},
+			// A memory-bound sample: memory frequency dominates.
+			{mk(200, 2.0), mk(150, 2.2), mk(180, 3.0), mk(120, 3.2)},
+		},
+	}
+}
+
+// ExampleAnalyze shows the inefficiency metric: I = E/Emin per sample and
+// setting.
+func ExampleAnalyze() {
+	a, err := mcdvfs.Analyze(exampleGrid())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sample 0 Emin: %.1f J\n", a.Emin(0))
+	fmt.Printf("inefficiency at 1000/800: %.2f\n", a.Inefficiency(0, 3))
+	fmt.Printf("speedup at 1000/800: %.2fx\n", a.Speedup(0, 3))
+	// Output:
+	// sample 0 Emin: 2.0 J
+	// inefficiency at 1000/800: 1.70
+	// speedup at 1000/800: 2.00x
+}
+
+// ExampleAnalysis_ClusterAt shows the performance cluster: every setting
+// whose performance sits within the threshold band around the
+// budget-optimal.
+func ExampleAnalysis_ClusterAt() {
+	a, err := mcdvfs.Analyze(exampleGrid())
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := a.ClusterAt(0, mcdvfs.Unconstrained, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal: %v\n", a.Grid().Setting(c.Optimal))
+	for _, k := range c.Members {
+		fmt.Printf("member:  %v\n", a.Grid().Setting(k))
+	}
+	// Output:
+	// optimal: 1000MHz/400MHz
+	// member:  1000MHz/400MHz
+	// member:  1000MHz/800MHz
+}
+
+// ExampleAnalysis_OptimalSetting shows budget-constrained selection: the
+// best performer whose energy stays within budget x Emin.
+func ExampleAnalysis_OptimalSetting() {
+	a, err := mcdvfs.Analyze(exampleGrid())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, budget := range []float64{1.0, 1.5, mcdvfs.Unconstrained} {
+		k, err := a.OptimalSetting(0, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("budget %-4v -> %v\n", budget, a.Grid().Setting(k))
+	}
+	// Output:
+	// budget 1    -> 500MHz/400MHz
+	// budget 1.5  -> 1000MHz/400MHz
+	// budget +Inf -> 1000MHz/400MHz
+}
+
+// ExampleAnalysis_StableRegions shows the region segmentation: consecutive
+// samples that share a common near-optimal setting collapse into one
+// region with a single setting choice.
+func ExampleAnalysis_StableRegions() {
+	a, err := mcdvfs.Analyze(exampleGrid())
+	if err != nil {
+		log.Fatal(err)
+	}
+	regions, err := a.StableRegions(mcdvfs.Unconstrained, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range regions {
+		fmt.Printf("region %d: samples [%d,%d] at %v\n", i, r.Start, r.End, a.Grid().Setting(r.Choice))
+	}
+	// Both samples share 1000/800 inside their 5% bands, so one region
+	// covers the run: zero transitions instead of per-sample re-tuning.
+	// Output:
+	// region 0: samples [0,1] at 1000MHz/800MHz
+}
+
+// ExampleAnalysis_ParetoFrontier shows the whole-run energy-performance
+// frontier: the non-dominated settings a smart algorithm searches.
+func ExampleAnalysis_ParetoFrontier() {
+	a, err := mcdvfs.Analyze(exampleGrid())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range a.ParetoFrontier() {
+		fmt.Printf("%v: speedup %.2fx, inefficiency %.2f\n",
+			a.Grid().Setting(p.Setting), p.Speedup, p.Inefficiency)
+	}
+	// Output:
+	// 1000MHz/800MHz: speedup 1.82x, inefficiency 1.65
+	// 1000MHz/400MHz: speedup 1.43x, inefficiency 1.50
+	// 500MHz/800MHz: speedup 1.15x, inefficiency 1.15
+	// 500MHz/400MHz: speedup 1.00x, inefficiency 1.00
+}
+
+// ExampleAnalysis_Execute shows trade-off evaluation with the paper's
+// tuning overhead: every setting change costs 500 µs and 30 µJ.
+func ExampleAnalysis_Execute() {
+	a, err := mcdvfs.Analyze(exampleGrid())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sch, err := a.OptimalSchedule(mcdvfs.Unconstrained)
+	if err != nil {
+		log.Fatal(err)
+	}
+	free, err := a.Execute(sch, mcdvfs.Overhead{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	with, err := a.Execute(sch, mcdvfs.DefaultOverhead())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transitions: %d\n", free.Transitions)
+	fmt.Printf("time without overhead: %.1f ns\n", free.TimeNS)
+	fmt.Printf("time with overhead:    %.1f ns\n", with.TimeNS)
+	// Output:
+	// transitions: 1
+	// time without overhead: 219.0 ns
+	// time with overhead:    500219.0 ns
+}

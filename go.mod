@@ -1,0 +1,3 @@
+module mcdvfs
+
+go 1.22

@@ -1,0 +1,200 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default hierarchy invalid: %v", err)
+	}
+	d := Default()
+	if d.L1.SizeBytes != 64<<10 || d.L2.SizeBytes != 2<<20 {
+		t.Errorf("default sizes %d/%d", d.L1.SizeBytes, d.L2.SizeBytes)
+	}
+	if d.L1.HitLatency != 2 || d.L2.HitLatency != 12 {
+		t.Errorf("default latencies %d/%d, want the paper's 2/12 cycles", d.L1.HitLatency, d.L2.HitLatency)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mk := func(mut func(*Hierarchy)) Hierarchy {
+		h := Default()
+		mut(&h)
+		return h
+	}
+	cases := []Hierarchy{
+		mk(func(h *Hierarchy) { h.L1.SizeBytes = 0 }),
+		mk(func(h *Hierarchy) { h.L1.LineBytes = 100 }), // not dividing capacity
+		mk(func(h *Hierarchy) { h.L2.Assoc = 0 }),
+		mk(func(h *Hierarchy) { h.L2.HitLatency = 0 }),
+		mk(func(h *Hierarchy) { h.L2.SizeBytes = h.L1.SizeBytes }), // inclusion violated
+	}
+	for i, h := range cases {
+		if err := h.Validate(); err == nil {
+			t.Errorf("bad hierarchy %d accepted", i)
+		}
+	}
+}
+
+func TestLocalityValidation(t *testing.T) {
+	bad := []Locality{
+		{APKI: -1, WorkingSetBytes: 1},
+		{APKI: 1, StreamFrac: -0.1, WorkingSetBytes: 1},
+		{APKI: 1, StreamFrac: 1.5, WorkingSetBytes: 1},
+		{APKI: 1, WorkingSetBytes: 0},
+	}
+	h := Default()
+	for i, loc := range bad {
+		if _, err := h.Evaluate(loc); err == nil {
+			t.Errorf("bad locality %d accepted", i)
+		}
+	}
+}
+
+func TestSmallWorkingSetFitsInL1(t *testing.T) {
+	h := Default()
+	b, err := h.Evaluate(Locality{APKI: 350, StreamFrac: 0, WorkingSetBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.L1HitRate < 0.98 {
+		t.Errorf("4KB working set L1 hit rate %.3f, want ~1", b.L1HitRate)
+	}
+	if b.DRAMMPKI > 0.1 {
+		t.Errorf("4KB working set DRAM MPKI %.3f, want ~0", b.DRAMMPKI)
+	}
+}
+
+func TestStreamingMissesEverything(t *testing.T) {
+	h := Default()
+	b, err := h.Evaluate(Locality{APKI: 100, StreamFrac: 1, WorkingSetBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.DRAMMPKI-100) > 1e-9 {
+		t.Errorf("pure streaming DRAM MPKI %.3f, want 100 (= APKI)", b.DRAMMPKI)
+	}
+	if b.L1HitRate > 1e-9 {
+		t.Errorf("pure streaming L1 hit rate %v, want 0", b.L1HitRate)
+	}
+}
+
+func TestMidWorkingSetCaughtByL2(t *testing.T) {
+	// A working set between L1 and L2 sizes should mostly hit in L2.
+	h := Default()
+	b, err := h.Evaluate(Locality{APKI: 350, StreamFrac: 0, WorkingSetBytes: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.L2HitRate < 0.5 {
+		t.Errorf("256KB working set L2 hit rate %.3f, want majority", b.L2HitRate)
+	}
+	if b.DRAMMPKI > 0.02*350 {
+		t.Errorf("256KB working set DRAM MPKI %.1f, want small", b.DRAMMPKI)
+	}
+	if b.CPIContribution <= 0 {
+		t.Errorf("L2-resident working set should cost CPI, got %v", b.CPIContribution)
+	}
+}
+
+func TestMPKIMonotoneInWorkingSet(t *testing.T) {
+	h := Default()
+	prev := -1.0
+	for _, wss := range []float64{16 << 10, 128 << 10, 1 << 20, 8 << 20, 64 << 20} {
+		mpki, err := h.MPKIAt(Locality{APKI: 300, StreamFrac: 0.02, WorkingSetBytes: wss})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mpki < prev {
+			t.Errorf("MPKI decreased at working set %v", wss)
+		}
+		prev = mpki
+	}
+}
+
+func TestMPKIDecreasesWithL2Size(t *testing.T) {
+	loc := Locality{APKI: 300, StreamFrac: 0.02, WorkingSetBytes: 3 << 20}
+	prev := math.Inf(1)
+	for _, size := range []int{512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20} {
+		h := Default().WithL2Size(size)
+		mpki, err := h.MPKIAt(loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mpki >= prev {
+			t.Errorf("MPKI not decreasing at L2 size %d: %v >= %v", size, mpki, prev)
+		}
+		prev = mpki
+	}
+}
+
+func TestHitRatesFormDistribution(t *testing.T) {
+	// L1 hits + L2 hits + DRAM misses must account for every access.
+	h := Default()
+	f := func(apkiRaw, streamRaw, wssRaw uint16) bool {
+		loc := Locality{
+			APKI:            float64(apkiRaw%500) + 1,
+			StreamFrac:      float64(streamRaw%100) / 100,
+			WorkingSetBytes: float64(wssRaw%((64<<10)-1))*1024 + 1024,
+		}
+		b, err := h.Evaluate(loc)
+		if err != nil {
+			return false
+		}
+		dramRate := b.DRAMMPKI / loc.APKI
+		total := b.L1HitRate + b.L2HitRate + dramRate
+		return math.Abs(total-1) < 1e-9 &&
+			b.L1HitRate >= 0 && b.L2HitRate >= 0 && dramRate >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssociativityHelps(t *testing.T) {
+	// Higher associativity -> larger effective capacity -> fewer misses.
+	loc := Locality{APKI: 300, StreamFrac: 0, WorkingSetBytes: 2 << 20}
+	lowAssoc := Default()
+	lowAssoc.L2.Assoc = 1
+	highAssoc := Default()
+	highAssoc.L2.Assoc = 16
+	lo, err := lowAssoc.MPKIAt(loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := highAssoc.MPKIAt(loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi >= lo {
+		t.Errorf("16-way MPKI %.2f not below direct-mapped %.2f", hi, lo)
+	}
+}
+
+func TestPaperBenchmarkMPKIsReachable(t *testing.T) {
+	// The suite's configured phase MPKIs must be reproducible from
+	// plausible locality profiles on the default hierarchy: CPU-bound ~1,
+	// balanced ~10-25, streaming ~18-28.
+	h := Default()
+	cases := []struct {
+		name     string
+		loc      Locality
+		min, max float64
+	}{
+		{"bzip2-like", Locality{APKI: 320, StreamFrac: 0.001, WorkingSetBytes: 350 << 10}, 0.3, 3},
+		{"gobmk-pattern-like", Locality{APKI: 380, StreamFrac: 0.03, WorkingSetBytes: 580 << 10}, 15, 35},
+		{"lbm-like", Locality{APKI: 300, StreamFrac: 0.085, WorkingSetBytes: 400 << 10}, 20, 35},
+	}
+	for _, c := range cases {
+		mpki, err := h.MPKIAt(c.loc)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if mpki < c.min || mpki > c.max {
+			t.Errorf("%s: derived MPKI %.1f outside [%v, %v]", c.name, mpki, c.min, c.max)
+		}
+	}
+}

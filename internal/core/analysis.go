@@ -1,0 +1,200 @@
+// Package core implements the paper's contribution: the inefficiency
+// metric, optimal frequency-setting selection under inefficiency budgets,
+// performance clusters, stable regions, and the energy-performance
+// trade-off evaluation with tuning overhead.
+//
+// # Inefficiency (Section II)
+//
+// Inefficiency I = E / Emin constrains how much extra energy an application
+// may burn to improve performance, relative to the minimum energy the same
+// work could have consumed on the same device. I = 1 is the most efficient
+// execution; I = 1.5 means 50% more energy than the most efficient
+// execution. Unlike absolute energy budgets or energy-delay products, the
+// metric is application- and device-independent.
+//
+// All analyses here operate on a trace.Grid: measured (not predicted) time
+// and energy for every sample at every setting, exactly as the paper does
+// its offline characterization.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mcdvfs/internal/freq"
+	"mcdvfs/internal/trace"
+)
+
+// Unconstrained is the budget value representing the paper's "∞"
+// inefficiency: energy is unbounded and the algorithm may always pick the
+// highest-performance settings.
+var Unconstrained = math.Inf(1)
+
+// SpeedupTieBand is the relative band within which two settings count as
+// "similar speedup"; the paper uses 0.5% to filter simulation noise and
+// breaks ties toward the highest CPU, then memory, frequency.
+const SpeedupTieBand = 0.005
+
+// Analysis precomputes per-sample inefficiency and speedup for one grid.
+// It is immutable after construction and safe for concurrent use.
+type Analysis struct {
+	grid *trace.Grid
+
+	// Per sample s and setting k.
+	ineff   [][]float64
+	speedup [][]float64
+
+	// Per sample s.
+	eminJ     []float64
+	maxTimeNS []float64
+
+	// Whole-run aggregates per setting k.
+	runTimeNS  []float64
+	runEnergyJ []float64
+	runEminJ   float64
+	runMaxTime float64
+}
+
+// NewAnalysis validates the grid and computes the derived matrices.
+func NewAnalysis(g *trace.Grid) (*Analysis, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil grid")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	ns, nk := g.NumSamples(), g.NumSettings()
+	a := &Analysis{
+		grid:       g,
+		ineff:      make([][]float64, ns),
+		speedup:    make([][]float64, ns),
+		eminJ:      make([]float64, ns),
+		maxTimeNS:  make([]float64, ns),
+		runTimeNS:  make([]float64, nk),
+		runEnergyJ: make([]float64, nk),
+	}
+	for s := 0; s < ns; s++ {
+		emin, tmax := math.Inf(1), 0.0
+		for k := 0; k < nk; k++ {
+			m := g.At(s, freq.SettingID(k))
+			if e := m.EnergyJ(); e < emin {
+				emin = e
+			}
+			if m.TimeNS > tmax {
+				tmax = m.TimeNS
+			}
+			a.runTimeNS[k] += m.TimeNS
+			a.runEnergyJ[k] += m.EnergyJ()
+		}
+		if emin <= 0 {
+			return nil, fmt.Errorf("core: sample %d has non-positive Emin", s)
+		}
+		a.eminJ[s] = emin
+		a.maxTimeNS[s] = tmax
+		a.ineff[s] = make([]float64, nk)
+		a.speedup[s] = make([]float64, nk)
+		for k := 0; k < nk; k++ {
+			m := g.At(s, freq.SettingID(k))
+			a.ineff[s][k] = m.EnergyJ() / emin
+			a.speedup[s][k] = tmax / m.TimeNS
+		}
+	}
+	a.runEminJ = math.Inf(1)
+	for k := 0; k < nk; k++ {
+		if a.runEnergyJ[k] < a.runEminJ {
+			a.runEminJ = a.runEnergyJ[k]
+		}
+		if a.runTimeNS[k] > a.runMaxTime {
+			a.runMaxTime = a.runTimeNS[k]
+		}
+	}
+	return a, nil
+}
+
+// Grid returns the underlying grid.
+func (a *Analysis) Grid() *trace.Grid { return a.grid }
+
+// NumSamples returns the number of samples.
+func (a *Analysis) NumSamples() int { return a.grid.NumSamples() }
+
+// NumSettings returns the number of settings.
+func (a *Analysis) NumSettings() int { return a.grid.NumSettings() }
+
+// Emin returns the per-sample minimum energy across settings — the
+// denominator of inefficiency, found by the paper's brute-force search.
+func (a *Analysis) Emin(sample int) float64 { return a.eminJ[sample] }
+
+// Inefficiency returns I = E/Emin for one sample at one setting.
+func (a *Analysis) Inefficiency(sample int, k freq.SettingID) float64 {
+	return a.ineff[sample][int(k)]
+}
+
+// Speedup returns the per-sample speedup at setting k: the ratio of the
+// sample's longest execution time (across settings) to its time at k.
+func (a *Analysis) Speedup(sample int, k freq.SettingID) float64 {
+	return a.speedup[sample][int(k)]
+}
+
+// RunInefficiency returns the whole-run inefficiency of executing the
+// entire benchmark pinned at setting k (Figure 2's y-axis).
+func (a *Analysis) RunInefficiency(k freq.SettingID) float64 {
+	return a.runEnergyJ[int(k)] / a.runEminJ
+}
+
+// RunSpeedup returns the whole-run speedup of executing pinned at k
+// (Figure 2's z-axis): longest total time over total time at k.
+func (a *Analysis) RunSpeedup(k freq.SettingID) float64 {
+	return a.runMaxTime / a.runTimeNS[int(k)]
+}
+
+// MaxInefficiency returns the grid's Imax: the largest whole-run
+// inefficiency over all settings. The paper observes values between 1.5
+// and 2 for its benchmarks.
+func (a *Analysis) MaxInefficiency() float64 {
+	imax := 0.0
+	for k := range a.runEnergyJ {
+		if i := a.RunInefficiency(freq.SettingID(k)); i > imax {
+			imax = i
+		}
+	}
+	return imax
+}
+
+// TotalInstructions returns the benchmark length in instructions.
+func (a *Analysis) TotalInstructions() uint64 {
+	return a.grid.SampleInstr * uint64(a.NumSamples())
+}
+
+// checkSample panics on an out-of-range sample index; analyses iterate
+// sample indices they obtained from the grid, so this is a bug guard.
+func (a *Analysis) checkSample(s int) {
+	if s < 0 || s >= a.NumSamples() {
+		panic(fmt.Sprintf("core: sample %d out of range [0,%d)", s, a.NumSamples()))
+	}
+}
+
+// checkBudget validates an inefficiency budget: budgets below 1 are
+// meaningless (no execution can beat Emin).
+func checkBudget(budget float64) error {
+	if math.IsNaN(budget) || budget < 1 {
+		return fmt.Errorf("core: inefficiency budget %v below 1", budget)
+	}
+	return nil
+}
+
+// WithinBudget returns the IDs of settings whose inefficiency for the
+// sample is within the budget. The result is never empty for budget >= 1
+// because the Emin setting itself has inefficiency exactly 1.
+func (a *Analysis) WithinBudget(sample int, budget float64) ([]freq.SettingID, error) {
+	a.checkSample(sample)
+	if err := checkBudget(budget); err != nil {
+		return nil, err
+	}
+	var out []freq.SettingID
+	for k := range a.ineff[sample] {
+		if a.ineff[sample][k] <= budget {
+			out = append(out, freq.SettingID(k))
+		}
+	}
+	return out, nil
+}

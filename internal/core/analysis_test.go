@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mcdvfs/internal/freq"
+	"mcdvfs/internal/trace"
+)
+
+// mkGrid builds a synthetic grid with explicit per-sample, per-setting
+// times (ns) and energies (J). settings[k] pairs with times[s][k].
+func mkGrid(t *testing.T, settings []freq.Setting, times, energies [][]float64) *trace.Grid {
+	t.Helper()
+	if len(times) != len(energies) {
+		t.Fatal("mkGrid: times/energies mismatch")
+	}
+	g := &trace.Grid{
+		Benchmark:   "synthetic",
+		SampleInstr: 10_000_000,
+		Settings:    settings,
+		Data:        make([][]trace.Measurement, len(times)),
+	}
+	for s := range times {
+		if len(times[s]) != len(settings) || len(energies[s]) != len(settings) {
+			t.Fatal("mkGrid: row width mismatch")
+		}
+		g.Data[s] = make([]trace.Measurement, len(settings))
+		for k := range settings {
+			g.Data[s][k] = trace.Measurement{
+				TimeNS:     times[s][k],
+				CPUEnergyJ: energies[s][k],
+			}
+		}
+	}
+	return g
+}
+
+// fourSettings is a 2x2 space: (CPU, Mem) in {500,1000} x {400,800}.
+// ID order is CPU-major: 0=(500,400) 1=(500,800) 2=(1000,400) 3=(1000,800).
+func fourSettings() []freq.Setting {
+	return []freq.Setting{
+		{CPU: 500, Mem: 400}, {CPU: 500, Mem: 800},
+		{CPU: 1000, Mem: 400}, {CPU: 1000, Mem: 800},
+	}
+}
+
+func analysisFor(t *testing.T, times, energies [][]float64) *Analysis {
+	t.Helper()
+	a, err := NewAnalysis(mkGrid(t, fourSettings(), times, energies))
+	if err != nil {
+		t.Fatalf("NewAnalysis: %v", err)
+	}
+	return a
+}
+
+func TestInefficiencyDefinition(t *testing.T) {
+	a := analysisFor(t,
+		[][]float64{{200, 180, 110, 100}},
+		[][]float64{{2.0, 2.5, 3.0, 4.0}},
+	)
+	// Emin = 2.0 at setting 0.
+	if got := a.Emin(0); got != 2.0 {
+		t.Errorf("Emin = %v, want 2.0", got)
+	}
+	wants := []float64{1.0, 1.25, 1.5, 2.0}
+	for k, w := range wants {
+		if got := a.Inefficiency(0, freq.SettingID(k)); math.Abs(got-w) > 1e-12 {
+			t.Errorf("inefficiency[%d] = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestSpeedupDefinition(t *testing.T) {
+	a := analysisFor(t,
+		[][]float64{{200, 180, 110, 100}},
+		[][]float64{{2.0, 2.5, 3.0, 4.0}},
+	)
+	// Speedup is longest time / time: setting 0 (slowest) has speedup 1.
+	if got := a.Speedup(0, 0); got != 1.0 {
+		t.Errorf("slowest speedup = %v, want 1", got)
+	}
+	if got := a.Speedup(0, 3); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("fastest speedup = %v, want 2", got)
+	}
+}
+
+func TestWithinBudget(t *testing.T) {
+	a := analysisFor(t,
+		[][]float64{{200, 180, 110, 100}},
+		[][]float64{{2.0, 2.5, 3.0, 4.0}},
+	)
+	ids, err := a.WithinBudget(0, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inefficiencies: 1.0, 1.25, 1.5, 2.0 -> budget 1.3 admits {0, 1}.
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Errorf("WithinBudget(1.3) = %v, want [0 1]", ids)
+	}
+	// Budget 1 admits only the Emin setting.
+	ids, _ = a.WithinBudget(0, 1)
+	if len(ids) != 1 || ids[0] != 0 {
+		t.Errorf("WithinBudget(1) = %v, want [0]", ids)
+	}
+	// Unconstrained admits everything.
+	ids, _ = a.WithinBudget(0, Unconstrained)
+	if len(ids) != 4 {
+		t.Errorf("WithinBudget(inf) = %v, want all 4", ids)
+	}
+}
+
+func TestWithinBudgetNeverEmpty(t *testing.T) {
+	a := analysisFor(t,
+		[][]float64{{200, 180, 110, 100}, {150, 140, 90, 80}},
+		[][]float64{{2.0, 2.5, 3.0, 4.0}, {3.0, 2.8, 2.6, 2.9}},
+	)
+	for s := 0; s < a.NumSamples(); s++ {
+		ids, err := a.WithinBudget(s, 1)
+		if err != nil || len(ids) == 0 {
+			t.Errorf("sample %d: budget-1 set empty (err %v)", s, err)
+		}
+	}
+}
+
+func TestBudgetValidation(t *testing.T) {
+	a := analysisFor(t,
+		[][]float64{{200, 180, 110, 100}},
+		[][]float64{{2.0, 2.5, 3.0, 4.0}},
+	)
+	for _, b := range []float64{0.5, 0, -1, math.NaN()} {
+		if _, err := a.WithinBudget(0, b); err == nil {
+			t.Errorf("budget %v accepted", b)
+		}
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	a := analysisFor(t,
+		[][]float64{
+			{200, 180, 110, 100},
+			{100, 90, 60, 50},
+		},
+		[][]float64{
+			{2.0, 2.5, 3.0, 4.0},
+			{1.0, 1.5, 2.0, 2.0},
+		},
+	)
+	// Totals: times {300, 270, 170, 150}, energies {3.0, 4.0, 5.0, 6.0}.
+	if got := a.RunInefficiency(0); got != 1.0 {
+		t.Errorf("run inefficiency[0] = %v, want 1", got)
+	}
+	if got := a.RunInefficiency(3); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("run inefficiency[3] = %v, want 2", got)
+	}
+	if got := a.RunSpeedup(3); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("run speedup[3] = %v, want 2", got)
+	}
+	if got := a.MaxInefficiency(); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("Imax = %v, want 2", got)
+	}
+	if got := a.TotalInstructions(); got != 20_000_000 {
+		t.Errorf("TotalInstructions = %d", got)
+	}
+}
+
+func TestNewAnalysisRejectsBadGrids(t *testing.T) {
+	if _, err := NewAnalysis(nil); err == nil {
+		t.Error("nil grid accepted")
+	}
+	g := mkGrid(t, fourSettings(),
+		[][]float64{{1, 1, 1, 1}},
+		[][]float64{{0, 0, 0, 0}},
+	)
+	// All-zero energy means Emin = 0, which breaks the metric.
+	if _, err := NewAnalysis(g); err == nil {
+		t.Error("zero-energy grid accepted")
+	}
+}
+
+func TestCheckSamplePanics(t *testing.T) {
+	a := analysisFor(t,
+		[][]float64{{200, 180, 110, 100}},
+		[][]float64{{2.0, 2.5, 3.0, 4.0}},
+	)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range sample did not panic")
+		}
+	}()
+	_, _ = a.WithinBudget(5, 1.3)
+}

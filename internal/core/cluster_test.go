@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"mcdvfs/internal/freq"
+)
+
+func TestClusterMembership(t *testing.T) {
+	// Times: 100 (opt), 104 (within 5%, not 1%), 100.5 (within 1%), 200.
+	// All energies equal so every setting is in any budget >= 1.
+	a := analysisFor(t,
+		[][]float64{{104, 100.5, 200, 100}},
+		[][]float64{{2, 2, 2, 2}},
+	)
+	c1, err := a.ClusterAt(0, Unconstrained, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Optimal != 3 {
+		t.Errorf("optimal = %d, want 3", c1.Optimal)
+	}
+	// 1% cluster: speedup(k) >= 0.99 * speedup(3). times <= 100/0.99 = 101.0.
+	if len(c1.Members) != 2 || !c1.Contains(1) || !c1.Contains(3) {
+		t.Errorf("1%% cluster = %v, want {1,3}", c1.Members)
+	}
+	c5, _ := a.ClusterAt(0, Unconstrained, 0.05)
+	if len(c5.Members) != 3 || !c5.Contains(0) {
+		t.Errorf("5%% cluster = %v, want {0,1,3}", c5.Members)
+	}
+}
+
+func TestClusterAlwaysContainsOptimal(t *testing.T) {
+	a := analysisFor(t,
+		[][]float64{{200, 180, 110, 100}},
+		[][]float64{{2.0, 2.5, 3.0, 4.0}},
+	)
+	for _, budget := range []float64{1, 1.3, 1.6, Unconstrained} {
+		for _, th := range []float64{0, 0.01, 0.05} {
+			c, err := a.ClusterAt(0, budget, th)
+			if err != nil {
+				t.Fatalf("budget %v th %v: %v", budget, th, err)
+			}
+			if !c.Contains(c.Optimal) {
+				t.Errorf("budget %v th %v: cluster %v missing optimal %d", budget, th, c.Members, c.Optimal)
+			}
+		}
+	}
+}
+
+func TestClusterRespectsBudget(t *testing.T) {
+	// Setting 3 is fastest but expensive: budget excludes it, and the
+	// cluster must not contain it even though its speedup is highest.
+	a := analysisFor(t,
+		[][]float64{{200, 180, 110, 100}},
+		[][]float64{{2.0, 2.2, 2.4, 4.0}},
+	)
+	c, err := a.ClusterAt(0, 1.3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Contains(3) {
+		t.Errorf("cluster %v contains out-of-budget setting 3", c.Members)
+	}
+	if c.Optimal != 2 {
+		t.Errorf("optimal = %d, want 2 (fastest within budget)", c.Optimal)
+	}
+}
+
+func TestClusterGrowsWithThreshold(t *testing.T) {
+	a := analysisFor(t,
+		[][]float64{{104, 102, 101, 100}},
+		[][]float64{{2, 2, 2, 2}},
+	)
+	prev := 0
+	for _, th := range []float64{0, 0.01, 0.03, 0.05} {
+		c, err := a.ClusterAt(0, Unconstrained, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Members) < prev {
+			t.Errorf("cluster shrank at threshold %v", th)
+		}
+		prev = len(c.Members)
+	}
+}
+
+func TestClustersAllSamples(t *testing.T) {
+	a := analysisFor(t,
+		[][]float64{
+			{104, 100.5, 200, 100},
+			{200, 180, 110, 100},
+		},
+		[][]float64{
+			{2, 2, 2, 2},
+			{2, 2, 2, 2},
+		},
+	)
+	cs, err := a.Clusters(Unconstrained, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("got %d clusters", len(cs))
+	}
+	for i, c := range cs {
+		if c.Sample != i {
+			t.Errorf("cluster %d labeled sample %d", i, c.Sample)
+		}
+	}
+	if got := MeanClusterSize(cs); got <= 0 {
+		t.Errorf("MeanClusterSize = %v", got)
+	}
+}
+
+func TestThresholdValidation(t *testing.T) {
+	a := analysisFor(t,
+		[][]float64{{104, 100.5, 200, 100}},
+		[][]float64{{2, 2, 2, 2}},
+	)
+	for _, th := range []float64{-0.01, 1, 1.5} {
+		if _, err := a.ClusterAt(0, Unconstrained, th); err == nil {
+			t.Errorf("threshold %v accepted", th)
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	id := func(xs ...int) []freq.SettingID {
+		out := make([]freq.SettingID, len(xs))
+		for i, x := range xs {
+			out[i] = freq.SettingID(x)
+		}
+		return out
+	}
+	cases := []struct {
+		a, b, want []freq.SettingID
+	}{
+		{id(1, 2, 3), id(2, 3, 4), id(2, 3)},
+		{id(1, 2), id(3, 4), nil},
+		{id(), id(1), nil},
+		{id(1, 5, 9), id(1, 5, 9), id(1, 5, 9)},
+	}
+	for _, c := range cases {
+		got := intersect(c.a, c.b)
+		if len(got) != len(c.want) {
+			t.Errorf("intersect(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("intersect(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+		}
+	}
+}
+
+func TestMeanClusterSizeEmpty(t *testing.T) {
+	if got := MeanClusterSize(nil); got != 0 {
+		t.Errorf("MeanClusterSize(nil) = %v", got)
+	}
+}

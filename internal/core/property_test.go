@@ -1,0 +1,272 @@
+package core
+
+// Property-based tests: the paper's algorithms must satisfy their
+// invariants on arbitrary (random but physical) grids, not just on the
+// calibrated platform.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mcdvfs/internal/freq"
+	"mcdvfs/internal/rng"
+	"mcdvfs/internal/trace"
+)
+
+// randomGrid builds a random physical grid: positive times and energies
+// with mild structure (faster settings cost more energy on average).
+func randomGrid(seed uint64, samples, nCPU, nMem int) *trace.Grid {
+	src := rng.New(seed)
+	var settings []freq.Setting
+	for c := 0; c < nCPU; c++ {
+		for m := 0; m < nMem; m++ {
+			settings = append(settings, freq.Setting{
+				CPU: freq.MHz(100 * (c + 1)),
+				Mem: freq.MHz(200 + 100*m),
+			})
+		}
+	}
+	g := &trace.Grid{
+		Benchmark:   "random",
+		SampleInstr: 10_000_000,
+		Settings:    settings,
+		Data:        make([][]trace.Measurement, samples),
+	}
+	for s := 0; s < samples; s++ {
+		g.Data[s] = make([]trace.Measurement, len(settings))
+		for k, st := range settings {
+			speed := float64(st.CPU) * (0.5 + src.Float64())
+			t := 1e9 / speed
+			e := (0.5 + src.Float64()) * (1 + float64(st.CPU)/1000)
+			g.Data[s][k] = trace.Measurement{TimeNS: t, CPUEnergyJ: e, MemEnergyJ: 0.1 * src.Float64()}
+		}
+	}
+	return g
+}
+
+func quickAnalysis(t *testing.T, seed uint64) *Analysis {
+	t.Helper()
+	src := rng.New(seed)
+	samples := 2 + src.Intn(12)
+	nCPU := 2 + src.Intn(4)
+	nMem := 1 + src.Intn(4)
+	a, err := NewAnalysis(randomGrid(seed, samples, nCPU, nMem))
+	if err != nil {
+		t.Fatalf("NewAnalysis(seed %d): %v", seed, err)
+	}
+	return a
+}
+
+func TestPropertyOptimalWithinBudget(t *testing.T) {
+	f := func(seed uint64, budgetRaw uint8) bool {
+		a := quickAnalysis(t, seed)
+		budget := 1 + float64(budgetRaw)/64 // [1, ~5]
+		for s := 0; s < a.NumSamples(); s++ {
+			k, err := a.OptimalSetting(s, budget)
+			if err != nil {
+				return false
+			}
+			if a.Inefficiency(s, k) > budget {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyOptimalSpeedupDominates(t *testing.T) {
+	// No in-budget setting may beat the chosen optimal by more than the
+	// tie band.
+	f := func(seed uint64) bool {
+		a := quickAnalysis(t, seed)
+		const budget = 1.5
+		for s := 0; s < a.NumSamples(); s++ {
+			k, err := a.OptimalSetting(s, budget)
+			if err != nil {
+				return false
+			}
+			ids, err := a.WithinBudget(s, budget)
+			if err != nil {
+				return false
+			}
+			for _, other := range ids {
+				if a.Speedup(s, other) > a.Speedup(s, k)/(1-SpeedupTieBand)+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyClusterContainsOptimalAndRespectsBand(t *testing.T) {
+	f := func(seed uint64, thRaw uint8) bool {
+		a := quickAnalysis(t, seed)
+		th := float64(thRaw%90) / 1000 // [0, 0.09)
+		for s := 0; s < a.NumSamples(); s++ {
+			c, err := a.ClusterAt(s, 1.4, th)
+			if err != nil {
+				return false
+			}
+			if !c.Contains(c.Optimal) {
+				return false
+			}
+			opt := a.Speedup(s, c.Optimal)
+			for _, k := range c.Members {
+				sp := a.Speedup(s, k)
+				if sp < opt*(1-th)-1e-12 || sp > opt*(1+th)+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRegionsPartitionRun(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := quickAnalysis(t, seed)
+		regions, err := a.StableRegions(1.4, 0.03)
+		if err != nil {
+			return false
+		}
+		next := 0
+		for _, r := range regions {
+			if r.Start != next || r.End < r.Start {
+				return false
+			}
+			next = r.End + 1
+		}
+		return next == a.NumSamples()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRegionChoiceInEveryCluster(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := quickAnalysis(t, seed)
+		const budget, th = 1.4, 0.05
+		regions, err := a.StableRegions(budget, th)
+		if err != nil {
+			return false
+		}
+		clusters, err := a.Clusters(budget, th)
+		if err != nil {
+			return false
+		}
+		for _, r := range regions {
+			for s := r.Start; s <= r.End; s++ {
+				if !clusters[s].Contains(r.Choice) {
+					return false
+				}
+			}
+			// The choice must also be a member of the stored avail set.
+			found := false
+			for _, k := range r.Avail {
+				if k == r.Choice {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyExecuteAdditive(t *testing.T) {
+	// Executing a schedule with overhead equals the free execution plus
+	// transitions x overhead, exactly.
+	f := func(seed uint64) bool {
+		a := quickAnalysis(t, seed)
+		sch, err := a.OptimalSchedule(1.4)
+		if err != nil {
+			return false
+		}
+		free, err := a.Execute(sch, Overhead{})
+		if err != nil {
+			return false
+		}
+		oh := Overhead{TimeNS: 123, EnergyJ: 0.456}
+		with, err := a.Execute(sch, oh)
+		if err != nil {
+			return false
+		}
+		n := float64(free.Transitions)
+		return math.Abs(with.TimeNS-free.TimeNS-n*oh.TimeNS) < 1e-6 &&
+			math.Abs(with.EnergyJ-free.EnergyJ-n*oh.EnergyJ) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBudgetMonotonicity(t *testing.T) {
+	// A looser budget can never produce a slower optimal schedule (modulo
+	// the tie band, which can cost at most the band itself per sample).
+	f := func(seed uint64) bool {
+		a := quickAnalysis(t, seed)
+		tight, err := a.OptimalSchedule(1.2)
+		if err != nil {
+			return false
+		}
+		loose, err := a.OptimalSchedule(2.5)
+		if err != nil {
+			return false
+		}
+		rTight, err := a.Execute(tight, Overhead{})
+		if err != nil {
+			return false
+		}
+		rLoose, err := a.Execute(loose, Overhead{})
+		if err != nil {
+			return false
+		}
+		return rLoose.TimeNS <= rTight.TimeNS*(1+SpeedupTieBand)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyImaxAtLeastOne(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := quickAnalysis(t, seed)
+		if a.MaxInefficiency() < 1 {
+			return false
+		}
+		for s := 0; s < a.NumSamples(); s++ {
+			// Every sample has at least one setting at inefficiency 1.
+			found := false
+			for k := 0; k < a.NumSettings(); k++ {
+				if math.Abs(a.Inefficiency(s, freq.SettingID(k))-1) < 1e-12 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

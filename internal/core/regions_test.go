@@ -1,0 +1,222 @@
+package core
+
+import (
+	"testing"
+)
+
+// regionFixture builds a 4-sample grid engineered so that with a 1%
+// threshold the clusters are:
+//
+//	s0: {1,3}   s1: {1,2}   s2: {1,2}   s3: {0}
+//
+// giving stable regions [0,2] (common setting 1) and [3,3].
+func regionFixture(t *testing.T) *Analysis {
+	t.Helper()
+	return analysisFor(t,
+		[][]float64{
+			{200, 100.5, 200, 100}, // cluster {1,3}, opt 3
+			{200, 100.5, 100, 200}, // cluster {1,2}, opt 2
+			{200, 100.2, 100, 200}, // cluster {1,2}, opt 2
+			{100, 200, 200, 200},   // cluster {0}, opt 0
+		},
+		[][]float64{
+			{2, 2, 2, 2},
+			{2, 2, 2, 2},
+			{2, 2, 2, 2},
+			{2, 2, 2, 2},
+		},
+	)
+}
+
+func TestStableRegionsSegmentation(t *testing.T) {
+	a := regionFixture(t)
+	regions, err := a.StableRegions(Unconstrained, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 2 {
+		t.Fatalf("regions = %+v, want 2", regions)
+	}
+	r0, r1 := regions[0], regions[1]
+	if r0.Start != 0 || r0.End != 2 {
+		t.Errorf("region 0 = [%d,%d], want [0,2]", r0.Start, r0.End)
+	}
+	if r0.Choice != 1 {
+		t.Errorf("region 0 choice = %d, want 1 (only common setting)", r0.Choice)
+	}
+	if r0.Len() != 3 {
+		t.Errorf("region 0 len = %d, want 3", r0.Len())
+	}
+	if r1.Start != 3 || r1.End != 3 || r1.Choice != 0 {
+		t.Errorf("region 1 = %+v, want [3,3] choice 0", r1)
+	}
+}
+
+func TestRegionsCoverEverySampleOnce(t *testing.T) {
+	a := regionFixture(t)
+	regions, err := a.StableRegions(Unconstrained, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make([]bool, a.NumSamples())
+	for _, r := range regions {
+		for s := r.Start; s <= r.End; s++ {
+			if covered[s] {
+				t.Fatalf("sample %d covered twice", s)
+			}
+			covered[s] = true
+		}
+	}
+	for s, ok := range covered {
+		if !ok {
+			t.Fatalf("sample %d not covered", s)
+		}
+	}
+}
+
+func TestRegionChoiceInEverySamplesCluster(t *testing.T) {
+	a := regionFixture(t)
+	for _, th := range []float64{0.01, 0.05} {
+		regions, err := a.StableRegions(Unconstrained, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusters, _ := a.Clusters(Unconstrained, th)
+		for _, r := range regions {
+			for s := r.Start; s <= r.End; s++ {
+				if !clusters[s].Contains(r.Choice) {
+					t.Errorf("th %v: region choice %d not in cluster of sample %d", th, r.Choice, s)
+				}
+			}
+		}
+	}
+}
+
+func TestRegionChoicePicksCheapestMember(t *testing.T) {
+	// Two samples whose common set is {1 (500/800), 2 (1000/400)}: the
+	// region must choose the member with the lowest total energy.
+	a := analysisFor(t,
+		[][]float64{
+			{200, 100.5, 100, 200},
+			{200, 100.5, 100, 200},
+		},
+		[][]float64{
+			{2, 1.8, 2.1, 2},
+			{2, 1.8, 2.1, 2},
+		},
+	)
+	regions, err := a.StableRegions(Unconstrained, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 1 || regions[0].Choice != 1 {
+		t.Fatalf("regions = %+v, want single region choosing cheapest member 1", regions)
+	}
+}
+
+func TestRegionChoiceEqualEnergyTieBreak(t *testing.T) {
+	// Equal-energy members fall back to highest CPU, then lowest memory.
+	a := analysisFor(t,
+		[][]float64{
+			{200, 100.5, 100, 100.4},
+			{200, 100.5, 100, 100.4},
+		},
+		[][]float64{
+			{2, 2, 2, 2},
+			{2, 2, 2, 2},
+		},
+	)
+	regions, err := a.StableRegions(Unconstrained, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 1 {
+		t.Fatalf("regions = %+v", regions)
+	}
+	// Common set {1 (500/800), 2 (1000/400), 3 (1000/800)}: equal energy,
+	// so highest CPU (1000) then lowest memory (400) wins.
+	if regions[0].Choice != 2 {
+		t.Errorf("choice = %d (%v), want 2 (1000/400)",
+			regions[0].Choice, a.Grid().Setting(regions[0].Choice))
+	}
+}
+
+func TestRegionChoicePrefersLowMemoryAtEqualCPU(t *testing.T) {
+	// Common set {2 (1000/400), 3 (1000/800)}: performance- and
+	// energy-equivalent, so the tie-break picks the low-memory member.
+	a := analysisFor(t,
+		[][]float64{
+			{200, 200, 100, 100.5},
+			{200, 200, 100, 100.5},
+		},
+		[][]float64{
+			{2, 2, 2, 2},
+			{2, 2, 2, 2},
+		},
+	)
+	regions, err := a.StableRegions(Unconstrained, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 1 {
+		t.Fatalf("regions = %+v", regions)
+	}
+	if len(regions[0].Avail) != 2 {
+		t.Fatalf("avail = %v, want {2,3}", regions[0].Avail)
+	}
+	if regions[0].Choice != 2 {
+		t.Errorf("choice = %d (%v), want 2 (1000/400)", regions[0].Choice, a.Grid().Setting(regions[0].Choice))
+	}
+}
+
+func TestRegionScheduleTransitionsEqualRegionBoundaries(t *testing.T) {
+	a := regionFixture(t)
+	regions, err := a.StableRegions(Unconstrained, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := RegionSchedule(a.NumSamples(), regions)
+	if got, want := sch.Transitions(), len(regions)-1; got != want {
+		t.Errorf("schedule transitions = %d, want %d", got, want)
+	}
+}
+
+func TestRegionLengths(t *testing.T) {
+	a := regionFixture(t)
+	regions, _ := a.StableRegions(Unconstrained, 0.01)
+	lens := RegionLengths(regions)
+	if len(lens) != 2 || lens[0] != 3 || lens[1] != 1 {
+		t.Errorf("lengths = %v, want [3 1]", lens)
+	}
+}
+
+func TestHigherThresholdNeverMoreRegions(t *testing.T) {
+	// Monotonicity: widening the threshold can only keep or merge regions.
+	a := regionFixture(t)
+	prev := int(^uint(0) >> 1)
+	for _, th := range []float64{0.001, 0.01, 0.03, 0.05, 0.10} {
+		regions, err := a.StableRegions(Unconstrained, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regions) > prev {
+			t.Errorf("threshold %v produced more regions (%d) than tighter threshold (%d)",
+				th, len(regions), prev)
+		}
+		prev = len(regions)
+	}
+}
+
+func TestSingleSampleRun(t *testing.T) {
+	a := analysisFor(t,
+		[][]float64{{200, 180, 110, 100}},
+		[][]float64{{2.0, 2.5, 3.0, 4.0}},
+	)
+	regions, err := a.StableRegions(1.3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 1 || regions[0].Start != 0 || regions[0].End != 0 {
+		t.Fatalf("regions = %+v", regions)
+	}
+}

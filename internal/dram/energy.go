@@ -1,0 +1,93 @@
+package dram
+
+import (
+	"fmt"
+
+	"mcdvfs/internal/freq"
+)
+
+// Counts tallies the command events issued over an interval, the inputs to
+// DRAMPower-style energy accounting.
+type Counts struct {
+	Activates int // activate+precharge pairs (row misses)
+	Reads     int // read bursts
+	Writes    int // write bursts
+	Refreshes int // all-bank refresh commands
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.Activates += other.Activates
+	c.Reads += other.Reads
+	c.Writes += other.Writes
+	c.Refreshes += other.Refreshes
+}
+
+// Accesses returns the total data bursts.
+func (c Counts) Accesses() int { return c.Reads + c.Writes }
+
+// EnergyModel computes DRAM energy from event counts and elapsed time,
+// following the structure of the DRAMPower tool the paper integrates into
+// gem5: per-event energies plus background power integrated over time.
+type EnergyModel struct {
+	dev Device
+}
+
+// NewEnergyModel validates the device and builds an energy model.
+func NewEnergyModel(dev Device) (*EnergyModel, error) {
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	return &EnergyModel{dev: dev}, nil
+}
+
+// Device returns the modeled device.
+func (m *EnergyModel) Device() Device { return m.dev }
+
+// BackgroundPowerW returns the background power at clock f: the static
+// floor plus clocked standby scaling linearly with frequency, plus the
+// amortized refresh power (refresh energy is charged continuously because
+// refresh must run regardless of traffic).
+func (m *EnergyModel) BackgroundPowerW(f freq.MHz) (float64, error) {
+	if err := m.dev.CheckClock(f); err != nil {
+		return 0, err
+	}
+	clocked := m.dev.PBgClockedW * float64(f/m.dev.FMax)
+	refresh := m.dev.ERefJ / (m.dev.TREFIns * 1e-9)
+	return m.dev.PBgStaticW + clocked + refresh, nil
+}
+
+// Energy returns the joules consumed over an interval of durationNS at
+// clock f given the event counts.
+func (m *EnergyModel) Energy(f freq.MHz, counts Counts, durationNS float64) (float64, error) {
+	if durationNS < 0 {
+		return 0, fmt.Errorf("dram: negative duration %v", durationNS)
+	}
+	bg, err := m.BackgroundPowerW(f)
+	if err != nil {
+		return 0, err
+	}
+	e := bg * durationNS * 1e-9
+	e += float64(counts.Activates) * m.dev.EActPreJ
+	e += float64(counts.Reads) * m.dev.ERdBurstJ
+	e += float64(counts.Writes) * m.dev.EWrBurstJ
+	// Refresh commands actually issued are already covered by the amortized
+	// background term; counting them again would double-charge, so explicit
+	// refresh counts carry only the delta between actual and amortized
+	// issue rate, which is zero in steady state. We therefore ignore
+	// counts.Refreshes here and expose them for validation only.
+	return e, nil
+}
+
+// AccessEnergyJ returns the incremental energy of one access: the burst
+// energy plus, for row misses, the activate/precharge pair.
+func (m *EnergyModel) AccessEnergyJ(write, rowHit bool) float64 {
+	e := m.dev.ERdBurstJ
+	if write {
+		e = m.dev.EWrBurstJ
+	}
+	if !rowHit {
+		e += m.dev.EActPreJ
+	}
+	return e
+}

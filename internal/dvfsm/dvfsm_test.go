@@ -1,0 +1,178 @@
+package dvfsm
+
+import (
+	"math"
+	"testing"
+
+	"mcdvfs/internal/freq"
+)
+
+func sequencer(t *testing.T) *Sequencer {
+	t.Helper()
+	s, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidation(t *testing.T) {
+	mut := func(f func(*Params)) Params {
+		p := DefaultParams()
+		f(&p)
+		return p
+	}
+	bad := []Params{
+		mut(func(p *Params) { p.SlewUVPerUS = 0 }),
+		mut(func(p *Params) { p.PLLLockNS = -1 }),
+		mut(func(p *Params) { p.MemDrainNS = -1 }),
+		mut(func(p *Params) { p.CPUOPPs = nil }),
+		mut(func(p *Params) { p.StallPowerW = -1 }),
+	}
+	for i, p := range bad {
+		if _, err := New(p); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestNoopTransition(t *testing.T) {
+	s := sequencer(t)
+	st := freq.Setting{CPU: 500, Mem: 400}
+	tr, err := s.Plan(st, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Steps) != 0 || tr.TotalNS() != 0 {
+		t.Errorf("no-op transition has steps: %+v", tr)
+	}
+}
+
+func TestRaiseSequencesVoltageFirst(t *testing.T) {
+	s := sequencer(t)
+	tr, err := s.Plan(freq.Setting{CPU: 500, Mem: 400}, freq.Setting{CPU: 1000, Mem: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Steps) != 2 {
+		t.Fatalf("steps: %+v", tr.Steps)
+	}
+	if tr.Steps[0].Name != "vdd-ramp-up" || tr.Steps[1].Name != "pll-relock" {
+		t.Errorf("raise order wrong: %+v", tr.Steps)
+	}
+}
+
+func TestLowerSequencesFrequencyFirst(t *testing.T) {
+	s := sequencer(t)
+	tr, err := s.Plan(freq.Setting{CPU: 1000, Mem: 400}, freq.Setting{CPU: 500, Mem: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Steps[0].Name != "pll-relock" || tr.Steps[1].Name != "vdd-ramp-down" {
+		t.Errorf("lower order wrong: %+v", tr.Steps)
+	}
+}
+
+func TestRampTimeProportionalToVoltageDelta(t *testing.T) {
+	s := sequencer(t)
+	small, err := s.Plan(freq.Setting{CPU: 500, Mem: 400}, freq.Setting{CPU: 600, Mem: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := s.Plan(freq.Setting{CPU: 100, Mem: 400}, freq.Setting{CPU: 1000, Mem: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ramp := func(tr Transition) float64 {
+		for _, st := range tr.Steps {
+			if st.Name == "vdd-ramp-up" {
+				return st.NS
+			}
+		}
+		return 0
+	}
+	// 100->1000 MHz spans 9x the voltage delta of 500->600.
+	if r := ramp(large) / ramp(small); math.Abs(r-9) > 0.01 {
+		t.Errorf("ramp ratio = %v, want 9", r)
+	}
+}
+
+func TestMemoryTransitionHasNoVoltageRamp(t *testing.T) {
+	s := sequencer(t)
+	tr, err := s.Plan(freq.Setting{CPU: 500, Mem: 200}, freq.Setting{CPU: 500, Mem: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range tr.Steps {
+		if st.Name == "vdd-ramp-up" || st.Name == "vdd-ramp-down" {
+			t.Errorf("memory-only transition ramped voltage: %+v", tr.Steps)
+		}
+	}
+	want := DefaultParams().MemDrainNS + DefaultParams().PLLLockNS + DefaultParams().MemRetrainNS
+	if math.Abs(tr.TotalNS()-want) > 1e-9 {
+		t.Errorf("memory transition %v ns, want %v", tr.TotalNS(), want)
+	}
+}
+
+func TestDomainsOverlap(t *testing.T) {
+	// Changing both components costs the max of the two sequences, not
+	// the sum: independent clock domains transition concurrently.
+	s := sequencer(t)
+	both, err := s.Plan(freq.Setting{CPU: 500, Mem: 200}, freq.Setting{CPU: 1000, Mem: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuOnly, _ := s.Plan(freq.Setting{CPU: 500, Mem: 200}, freq.Setting{CPU: 1000, Mem: 200})
+	memOnly, _ := s.Plan(freq.Setting{CPU: 500, Mem: 200}, freq.Setting{CPU: 500, Mem: 800})
+	want := math.Max(cpuOnly.TotalNS(), memOnly.TotalNS())
+	if math.Abs(both.TotalNS()-want) > 1e-9 {
+		t.Errorf("both-domain transition %v ns, want max(%v, %v)",
+			both.TotalNS(), cpuOnly.TotalNS(), memOnly.TotalNS())
+	}
+}
+
+func TestCommercialTransitionsTensOfMicroseconds(t *testing.T) {
+	// The paper: "time taken by PLLs to change voltage and frequency in
+	// commercial processors is in the order of 10s of microseconds".
+	s := sequencer(t)
+	ns, _, err := s.Cost(freq.Setting{CPU: 300, Mem: 400}, freq.Setting{CPU: 900, Mem: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns < 10_000 || ns > 200_000 {
+		t.Errorf("commercial CPU transition %v ns, want 10s of µs", ns)
+	}
+}
+
+func TestFastParamsNanosecondScale(t *testing.T) {
+	s, err := New(FastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, _, err := s.Cost(freq.Setting{CPU: 300, Mem: 400}, freq.Setting{CPU: 900, Mem: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns > 1_000 {
+		t.Errorf("on-chip-regulator transition %v ns, want sub-µs scale", ns)
+	}
+}
+
+func TestCostEnergy(t *testing.T) {
+	s := sequencer(t)
+	ns, j, err := s.Cost(freq.Setting{CPU: 500, Mem: 200}, freq.Setting{CPU: 1000, Mem: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultParams().StallPowerW * ns * 1e-9
+	if math.Abs(j-want) > 1e-15 {
+		t.Errorf("energy %v, want %v", j, want)
+	}
+}
+
+func TestPlanRejectsOutOfRange(t *testing.T) {
+	s := sequencer(t)
+	if _, err := s.Plan(freq.Setting{CPU: 50, Mem: 200}, freq.Setting{CPU: 500, Mem: 200}); err == nil {
+		t.Error("out-of-range CPU accepted")
+	}
+}

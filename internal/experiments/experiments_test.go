@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"mcdvfs/internal/core"
+)
+
+// sharedLab caches collected grids across all tests in this package;
+// collection is the expensive step and the Lab is safe for concurrent use.
+var (
+	labOnce sync.Once
+	lab     *Lab
+	labErr  error
+)
+
+func testLab(t *testing.T) *Lab {
+	t.Helper()
+	labOnce.Do(func() {
+		lab, labErr = NewLab()
+	})
+	if labErr != nil {
+		t.Fatalf("NewLab: %v", labErr)
+	}
+	return lab
+}
+
+func TestLabGridCaching(t *testing.T) {
+	l := testLab(t)
+	g1, err := l.Grid("gobmk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := l.Grid("gobmk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("grid not cached")
+	}
+	a1, err := l.Analysis("gobmk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := l.Analysis("gobmk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("analysis not cached")
+	}
+}
+
+func TestLabRejectsUnknownBenchmark(t *testing.T) {
+	l := testLab(t)
+	if _, err := l.Grid("nonesuch"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := l.Analysis("nonesuch"); err == nil {
+		t.Error("unknown benchmark accepted by Analysis")
+	}
+}
+
+func TestRunnerRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, r := range Runners() {
+		if r.ID == "" || r.Description == "" || r.Run == nil {
+			t.Errorf("incomplete runner %+v", r)
+		}
+		if ids[r.ID] {
+			t.Errorf("duplicate runner ID %q", r.ID)
+		}
+		ids[r.ID] = true
+	}
+	// One runner per paper figure (2..12) plus the governor comparison.
+	for _, want := range []string{"fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "governors",
+		"modelcmp", "baselines", "cachesens", "lowpower", "imax", "hetero",
+		"fastdvfs", "pareto"} {
+		if !ids[want] {
+			t.Errorf("missing runner %q", want)
+		}
+	}
+	if _, err := RunnerByID("fig8"); err != nil {
+		t.Errorf("RunnerByID(fig8): %v", err)
+	}
+	if _, err := RunnerByID("nonesuch"); err == nil {
+		t.Error("unknown runner ID accepted")
+	}
+}
+
+func TestBudgetLabel(t *testing.T) {
+	if got := BudgetLabel(1.3); got != "1.3" {
+		t.Errorf("BudgetLabel(1.3) = %q", got)
+	}
+	if got := BudgetLabel(core.Unconstrained); got != "inf" {
+		t.Errorf("BudgetLabel(inf) = %q", got)
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mcdvfs/internal/core"
+	"mcdvfs/internal/freq"
+	"mcdvfs/internal/report"
+)
+
+// ClusterRow summarizes one sample's performance cluster: the frequency
+// envelope the cluster spans on each domain, matching how Figures 4 and 5
+// plot clusters as vertical extents.
+type ClusterRow struct {
+	Sample         int
+	Size           int
+	Optimal        freq.Setting
+	CPUMin, CPUMax freq.MHz
+	MemMin, MemMax freq.MHz
+}
+
+// ClusterCase is the cluster trajectory for one (budget, threshold) pair.
+type ClusterCase struct {
+	Budget    float64
+	Threshold float64
+	Rows      []ClusterRow
+	MeanSize  float64
+	// Regions is the resulting stable-region count, the quantity the
+	// cluster width ultimately controls.
+	Regions int
+}
+
+// Fig04Result reproduces Figures 4 (gobmk) and 5 (milc): performance
+// clusters across budget and threshold combinations.
+type Fig04Result struct {
+	Benchmark string
+	Cases     []ClusterCase
+}
+
+// Fig04Cases returns the (budget, threshold) grid of Figures 4 and 5.
+func Fig04Cases() [][2]float64 {
+	return [][2]float64{{1.0, 0.01}, {1.0, 0.05}, {1.3, 0.01}, {1.3, 0.05}}
+}
+
+// FigClusters computes the cluster characterization for one benchmark over
+// the given (budget, threshold) cases.
+func (l *Lab) FigClusters(bench string, cases [][2]float64) (*Fig04Result, error) {
+	a, err := l.Analysis(bench)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig04Result{Benchmark: bench}
+	for _, c := range cases {
+		budget, th := c[0], c[1]
+		clusters, err := a.Clusters(budget, th)
+		if err != nil {
+			return nil, err
+		}
+		regions, err := a.StableRegions(budget, th)
+		if err != nil {
+			return nil, err
+		}
+		cc := ClusterCase{
+			Budget:    budget,
+			Threshold: th,
+			MeanSize:  core.MeanClusterSize(clusters),
+			Regions:   len(regions),
+		}
+		for _, cl := range clusters {
+			row := ClusterRow{
+				Sample:  cl.Sample,
+				Size:    len(cl.Members),
+				Optimal: a.Grid().Setting(cl.Optimal),
+			}
+			first := true
+			for _, k := range cl.Members {
+				st := a.Grid().Setting(k)
+				if first {
+					row.CPUMin, row.CPUMax = st.CPU, st.CPU
+					row.MemMin, row.MemMax = st.Mem, st.Mem
+					first = false
+					continue
+				}
+				if st.CPU < row.CPUMin {
+					row.CPUMin = st.CPU
+				}
+				if st.CPU > row.CPUMax {
+					row.CPUMax = st.CPU
+				}
+				if st.Mem < row.MemMin {
+					row.MemMin = st.Mem
+				}
+				if st.Mem > row.MemMax {
+					row.MemMax = st.Mem
+				}
+			}
+			cc.Rows = append(cc.Rows, row)
+		}
+		res.Cases = append(res.Cases, cc)
+	}
+	return res, nil
+}
+
+// Table renders the cluster summary per case.
+func (r *Fig04Result) Table(figure string) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("%s — %s: performance clusters", figure, r.Benchmark),
+		"budget", "threshold", "mean cluster size", "stable regions")
+	for _, c := range r.Cases {
+		t.AddRow(
+			BudgetLabel(c.Budget),
+			fmt.Sprintf("%.0f%%", c.Threshold*100),
+			fmt.Sprintf("%.1f", c.MeanSize),
+			fmt.Sprintf("%d", c.Regions),
+		)
+	}
+	return t
+}
+
+// TrajectoryTable renders the per-sample cluster envelopes for one case.
+func (r *Fig04Result) TrajectoryTable(caseIdx int) *report.Table {
+	c := r.Cases[caseIdx]
+	t := report.NewTable(
+		fmt.Sprintf("%s clusters at I=%s threshold %.0f%%", r.Benchmark, BudgetLabel(c.Budget), c.Threshold*100),
+		"sample", "size", "optimal", "cpu range", "mem range")
+	for _, row := range c.Rows {
+		t.AddRow(
+			fmt.Sprintf("%d", row.Sample),
+			fmt.Sprintf("%d", row.Size),
+			row.Optimal.String(),
+			fmt.Sprintf("%v-%v", row.CPUMin, row.CPUMax),
+			fmt.Sprintf("%v-%v", row.MemMin, row.MemMax),
+		)
+	}
+	return t
+}

@@ -1,0 +1,145 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (Figures 2-12 — the paper has no numbered tables) as a runnable
+// experiment over the mcdvfs simulator, plus the governor comparison the
+// paper's Section VII implies. Each experiment returns structured results
+// and a rendered text table; the bench harness at the repository root calls
+// the same runners.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"mcdvfs/internal/core"
+	"mcdvfs/internal/freq"
+	"mcdvfs/internal/sim"
+	"mcdvfs/internal/trace"
+	"mcdvfs/internal/workload"
+)
+
+// Lab owns the simulated platform and caches collected grids, since grid
+// collection is the expensive step shared by every experiment.
+type Lab struct {
+	sys    *sim.System
+	coarse *freq.Space
+	fine   *freq.Space
+
+	mu           sync.Mutex
+	grids        map[string]*trace.Grid
+	fineGrids    map[string]*trace.Grid
+	analyses     map[string]*core.Analysis
+	fineAnalyses map[string]*core.Analysis
+}
+
+// NewLab builds a lab over the default calibrated platform.
+func NewLab() (*Lab, error) {
+	return NewLabWithConfig(sim.DefaultConfig())
+}
+
+// NewLabWithConfig builds a lab over a custom platform configuration.
+func NewLabWithConfig(cfg sim.Config) (*Lab, error) {
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{
+		sys:          sys,
+		coarse:       freq.CoarseSpace(),
+		fine:         freq.FineSpace(),
+		grids:        make(map[string]*trace.Grid),
+		fineGrids:    make(map[string]*trace.Grid),
+		analyses:     make(map[string]*core.Analysis),
+		fineAnalyses: make(map[string]*core.Analysis),
+	}, nil
+}
+
+// System returns the lab's simulator.
+func (l *Lab) System() *sim.System { return l.sys }
+
+// CoarseSpace returns the 70-setting space.
+func (l *Lab) CoarseSpace() *freq.Space { return l.coarse }
+
+// FineSpace returns the 496-setting space.
+func (l *Lab) FineSpace() *freq.Space { return l.fine }
+
+// Grid returns the coarse grid for a benchmark, collecting it on first use.
+func (l *Lab) Grid(bench string) (*trace.Grid, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if g, ok := l.grids[bench]; ok {
+		return g, nil
+	}
+	b, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	g, err := trace.Collect(l.sys, b, l.coarse)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: collecting %s: %w", bench, err)
+	}
+	l.grids[bench] = g
+	return g, nil
+}
+
+// FineGrid returns the fine-step grid for a benchmark.
+func (l *Lab) FineGrid(bench string) (*trace.Grid, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if g, ok := l.fineGrids[bench]; ok {
+		return g, nil
+	}
+	b, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	g, err := trace.Collect(l.sys, b, l.fine)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: collecting fine %s: %w", bench, err)
+	}
+	l.fineGrids[bench] = g
+	return g, nil
+}
+
+// Analysis returns the cached coarse-grid analysis for a benchmark.
+func (l *Lab) Analysis(bench string) (*core.Analysis, error) {
+	l.mu.Lock()
+	a, ok := l.analyses[bench]
+	l.mu.Unlock()
+	if ok {
+		return a, nil
+	}
+	g, err := l.Grid(bench)
+	if err != nil {
+		return nil, err
+	}
+	a, err = core.NewAnalysis(g)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.analyses[bench] = a
+	l.mu.Unlock()
+	return a, nil
+}
+
+// FineAnalysis returns the cached fine-grid analysis for a benchmark.
+func (l *Lab) FineAnalysis(bench string) (*core.Analysis, error) {
+	l.mu.Lock()
+	a, ok := l.fineAnalyses[bench]
+	l.mu.Unlock()
+	if ok {
+		return a, nil
+	}
+	g, err := l.FineGrid(bench)
+	if err != nil {
+		return nil, err
+	}
+	a, err = core.NewAnalysis(g)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.fineAnalyses[bench] = a
+	l.mu.Unlock()
+	return a, nil
+}

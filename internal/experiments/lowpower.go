@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mcdvfs/internal/dram"
+	"mcdvfs/internal/report"
+)
+
+// LowPowerRow is one benchmark's memory power-down opportunity.
+type LowPowerRow struct {
+	Benchmark string
+	// BusUtil is the mean memory access rate (accesses/ns) at the optimal
+	// I=1.3 schedule.
+	AccessPerNS float64
+	// SavingsFrac is the fraction of clocked memory background energy a
+	// power-down policy recovers.
+	SavingsFrac float64
+	// SystemSavingsPct is the resulting whole-system energy saving.
+	SystemSavingsPct float64
+}
+
+// LowPowerResult quantifies MemScale-style memory power-down (the paper's
+// reference [11]) on top of the budgeted schedules: how much background
+// energy the gaps between DRAM accesses can recover per workload.
+type LowPowerResult struct {
+	Budget float64
+	Policy dram.PowerDown
+	Rows   []LowPowerRow
+}
+
+// LowPower runs the study at the given budget.
+func (l *Lab) LowPower(benches []string, budget float64) (*LowPowerResult, error) {
+	pd := dram.DefaultPowerDown()
+	em, err := dram.NewEnergyModel(dram.DefaultDevice())
+	if err != nil {
+		return nil, err
+	}
+	res := &LowPowerResult{Budget: budget, Policy: pd}
+	for _, bench := range benches {
+		a, err := l.Analysis(bench)
+		if err != nil {
+			return nil, err
+		}
+		sch, err := a.OptimalSchedule(budget)
+		if err != nil {
+			return nil, err
+		}
+		g := a.Grid()
+		var totalTime, totalEnergy, totalAccesses, savedJ float64
+		for s, k := range sch {
+			m := g.At(s, k)
+			accesses := float64(g.SampleInstr) * m.MPKI / 1000
+			rate := 0.0
+			if m.TimeNS > 0 {
+				rate = accesses / m.TimeNS
+			}
+			frac, err := em.IdleSavings(pd, rate)
+			if err != nil {
+				return nil, err
+			}
+			clockedW := dram.DefaultDevice().PBgClockedW * float64(g.Setting(k).Mem/dram.DefaultDevice().FMax)
+			savedJ += clockedW * frac * m.TimeNS * 1e-9
+			totalTime += m.TimeNS
+			totalEnergy += m.EnergyJ()
+			totalAccesses += accesses
+		}
+		res.Rows = append(res.Rows, LowPowerRow{
+			Benchmark:        bench,
+			AccessPerNS:      totalAccesses / totalTime,
+			SavingsFrac:      savedJ / totalEnergy, // vs system energy below
+			SystemSavingsPct: savedJ / totalEnergy * 100,
+		})
+	}
+	return res, nil
+}
+
+// Row returns the entry for a benchmark.
+func (r *LowPowerResult) Row(bench string) (LowPowerRow, error) {
+	for _, row := range r.Rows {
+		if row.Benchmark == bench {
+			return row, nil
+		}
+	}
+	return LowPowerRow{}, fmt.Errorf("experiments: no lowpower row for %s", bench)
+}
+
+// Table renders the study.
+func (r *LowPowerResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Memory power-down opportunity at I=%s (MemScale-style fast power-down)", BudgetLabel(r.Budget)),
+		"benchmark", "accesses/µs", "system energy saving")
+	for _, row := range r.Rows {
+		t.AddRow(row.Benchmark,
+			fmt.Sprintf("%.1f", row.AccessPerNS*1e3),
+			fmt.Sprintf("%.2f%%", row.SystemSavingsPct))
+	}
+	return t
+}

@@ -1,0 +1,602 @@
+package experiments
+
+// shapes_test pins the reproduction to the paper's qualitative results:
+// every assertion here encodes a sentence from the paper's evaluation
+// (Sections IV-VI, Figures 2-12). Absolute numbers are not expected to
+// match the authors' testbed — the shapes are.
+
+import (
+	"math"
+	"testing"
+
+	"mcdvfs/internal/core"
+	"mcdvfs/internal/freq"
+	"mcdvfs/internal/workload"
+)
+
+func TestFig02Shapes(t *testing.T) {
+	l := testLab(t)
+	for _, bench := range Fig02Benchmarks() {
+		r, err := l.Fig02(bench)
+		if err != nil {
+			t.Fatalf("Fig02(%s): %v", bench, err)
+		}
+		// Paper: maximum achievable inefficiency is 1.5 to 2 (we allow a
+		// little slack above).
+		if r.Imax < 1.5 || r.Imax > 2.3 {
+			t.Errorf("%s: Imax = %.2f outside [1.5, 2.3]", bench, r.Imax)
+		}
+		// "Running slower doesn't mean the system is running efficiently":
+		// the slowest setting must be clearly inefficient.
+		if r.MinSettingIneff < 1.2 {
+			t.Errorf("%s: slowest-setting inefficiency %.2f, want >= 1.2", bench, r.MinSettingIneff)
+		}
+		// The fastest setting burns well above Emin too (gobmk: 1.65 in
+		// the paper).
+		if r.MaxSettingIneff < 1.3 {
+			t.Errorf("%s: fastest-setting inefficiency %.2f, want >= 1.3", bench, r.MaxSettingIneff)
+		}
+	}
+}
+
+func TestFig02HigherInefficiencyNotAlwaysFaster(t *testing.T) {
+	// Paper: gobmk forced to I=2.2 at 1000/200 runs ~1.5x slower than its
+	// best. Generalized: some setting has higher inefficiency than the
+	// fastest setting yet much lower speedup.
+	l := testLab(t)
+	r, err := l.Fig02("gobmk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fastest Fig02Point
+	for _, p := range r.Points {
+		if p.Speedup > fastest.Speedup {
+			fastest = p
+		}
+	}
+	found := false
+	for _, p := range r.Points {
+		if p.Inefficiency > fastest.Inefficiency && p.Speedup < fastest.Speedup*0.8 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no setting wastes energy while degrading performance; Figure 2's headline observation missing")
+	}
+}
+
+func TestFig02Bzip2MemoryInsensitive(t *testing.T) {
+	// Paper: bzip2's performance at 200 MHz memory is within 3% of
+	// 800 MHz while the CPU runs at 1000 MHz.
+	l := testLab(t)
+	a, err := l.Analysis("bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := l.CoarseSpace()
+	lo, _ := sp.ID(mkSetting(1000, 200))
+	hi, _ := sp.ID(mkSetting(1000, 800))
+	slow := a.PinnedResult(lo).TimeNS / a.PinnedResult(hi).TimeNS
+	if slow > 1.04 {
+		t.Errorf("bzip2 slowed %.3fx by memory frequency, paper says within ~3%%", slow)
+	}
+}
+
+func TestFig03Shapes(t *testing.T) {
+	l := testLab(t)
+	r, err := l.Fig03("gobmk", Fig03Budgets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unconstrained budget pins the CPU at its maximum; the memory choice
+	// can wobble within the 0.5% tie band under measurement noise, but
+	// stays high and lands on the true maximum most of the time.
+	atMax := 0
+	for _, row := range r.Rows {
+		st := row.Optimal["inf"]
+		if st.CPU != 1000 {
+			t.Fatalf("sample %d: unconstrained optimal CPU %v, want 1000", row.Sample, st.CPU)
+		}
+		if st.Mem < 300 {
+			t.Fatalf("sample %d: unconstrained optimal memory %v implausibly low", row.Sample, st.Mem)
+		}
+		if st == mkSetting(1000, 800) {
+			atMax++
+		}
+	}
+	if atMax < len(r.Rows)/2 {
+		t.Errorf("unconstrained optimal at 1000/800 for only %d/%d samples", atMax, len(r.Rows))
+	}
+	// Constrained budgets move with the workload's phases.
+	if r.TransitionsPerBudget["1.3"] == 0 {
+		t.Error("optimal settings never move at I=1.3; paper's Figure 3 shows per-sample tracking")
+	}
+	// Memory-intensive samples (high MPKI) get at least as much memory
+	// frequency on average as CPU-intensive ones at I=1.3.
+	var memSum, cpuSum float64
+	var memN, cpuN int
+	for _, row := range r.Rows {
+		st := row.Optimal["1.3"]
+		if row.MPKI > 10 {
+			memSum += float64(st.Mem)
+			memN++
+		} else if row.MPKI < 4 {
+			cpuSum += float64(st.Mem)
+			cpuN++
+		}
+	}
+	if memN == 0 || cpuN == 0 {
+		t.Fatal("gobmk lost its phase mix")
+	}
+	if memSum/float64(memN) <= cpuSum/float64(cpuN) {
+		t.Errorf("memory phases got %.0f MHz memory on average vs %.0f for CPU phases; want more",
+			memSum/float64(memN), cpuSum/float64(cpuN))
+	}
+}
+
+func TestFig04ClusterShapes(t *testing.T) {
+	l := testLab(t)
+	for _, bench := range []string{"gobmk", "milc"} {
+		r, err := l.FigClusters(bench, Fig04Cases())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cases: {1.0,1%}, {1.0,5%}, {1.3,1%}, {1.3,5%}.
+		sizeAt := func(i int) float64 { return r.Cases[i].MeanSize }
+		if sizeAt(1) <= sizeAt(0) {
+			t.Errorf("%s: 5%% cluster (%.1f) not larger than 1%% (%.1f) at I=1.0", bench, sizeAt(1), sizeAt(0))
+		}
+		if sizeAt(3) <= sizeAt(2) {
+			t.Errorf("%s: 5%% cluster not larger than 1%% at I=1.3", bench)
+		}
+		// More settings -> fewer regions (longer stable runs).
+		if r.Cases[1].Regions > r.Cases[0].Regions {
+			t.Errorf("%s: higher threshold produced more regions", bench)
+		}
+	}
+}
+
+func TestFig06LbmRegionShape(t *testing.T) {
+	l := testLab(t)
+	r, err := l.Fig06("lbm", 1.3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Figure 6: lbm at 5%/1.3 makes a modest number of transitions
+	// over 160 samples — neither one giant region nor per-sample churn.
+	if r.Transitions() < 1 || r.Transitions() > 40 {
+		t.Errorf("lbm transitions = %d, want a modest count", r.Transitions())
+	}
+	// Every sample covered exactly once, in order.
+	next := 0
+	for _, reg := range r.Regions {
+		if reg.Start != next {
+			t.Fatalf("region starts at %d, want %d", reg.Start, next)
+		}
+		next = reg.End + 1
+	}
+}
+
+func TestFig08TransitionShapes(t *testing.T) {
+	l := testLab(t)
+	r, err := l.Fig08(workload.HeadlineNames(), Fig08Budgets(), Fig08Thresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range workload.HeadlineNames() {
+		for _, b := range Fig08Budgets() {
+			opt, err := r.Rate(bench, b, OptimalTracking)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev := opt
+			for _, th := range []float64{0.01, 0.03, 0.05} {
+				rate, err := r.Rate(bench, b, th)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Paper: transitions decrease with increasing threshold,
+				// and optimal tracking has the most.
+				if rate > prev+1e-9 {
+					t.Errorf("%s I=%v: rate at %.0f%% (%.1f) above previous (%.1f)",
+						bench, b, th*100, rate, prev)
+				}
+				prev = rate
+			}
+		}
+	}
+	// Optimal tracking at I=1.0 must show real movement for every
+	// benchmark (paper Figure 8a: tens of transitions per B instructions).
+	for _, bench := range workload.HeadlineNames() {
+		opt, _ := r.Rate(bench, 1.0, OptimalTracking)
+		if opt <= 0 {
+			t.Errorf("%s: optimal tracking never transitions at I=1.0", bench)
+		}
+	}
+}
+
+func TestFig09RegionLengthShapes(t *testing.T) {
+	l := testLab(t)
+	budgets := []float64{1.0, 1.2, 1.3, 1.6}
+	ths := []float64{0.01, 0.03, 0.05}
+	r, err := l.Fig09([]string{"gobmk", "bzip2"}, budgets, ths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Fig 9b: bzip2's average stable-region length grows strongly
+	// with budget; at I=1.6 with >=3% threshold one region covers nearly
+	// everything.
+	lo, err := r.Box("bzip2", 1.0, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := r.Box("bzip2", 1.6, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Mean < lo.Mean {
+		t.Errorf("bzip2 region length decreased with budget: %.1f -> %.1f", lo.Mean, hi.Mean)
+	}
+	if hi.Max < 100 {
+		t.Errorf("bzip2 at I=1.6/3%%: longest region %.0f samples, want near-full coverage", hi.Max)
+	}
+	// Paper Fig 9a: gobmk's rapidly changing phases keep regions short
+	// while the budget binds. Our calibration saturates gobmk's budget
+	// slightly below the paper's (~1.5 vs 1.65, see EXPERIMENTS.md), so
+	// the short-region claim is checked at I=1.3 where both agree.
+	gb, err := r.Box("gobmk", 1.3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb.Median > 30 {
+		t.Errorf("gobmk median region length %.0f at I=1.3/5%%; paper keeps gobmk regions short", gb.Median)
+	}
+	// And gobmk grows far less with budget than bzip2 does: the paper's
+	// workload-dependence observation.
+	gb10, err := r.Box("gobmk", 1.0, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb13, err := r.Box("gobmk", 1.3, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb13.Mean < gb10.Mean*0.5 {
+		t.Errorf("gobmk region length collapsed with budget: %.1f -> %.1f", gb10.Mean, gb13.Mean)
+	}
+}
+
+func TestFig10TimeNonIncreasingInBudget(t *testing.T) {
+	l := testLab(t)
+	r, err := l.Fig10(workload.HeadlineNames(), Fig10Budgets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range workload.HeadlineNames() {
+		prev := math.Inf(1)
+		for _, b := range Fig10Budgets() {
+			c, err := r.Cell(bench, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.TimeNS > prev*1.001 {
+				t.Errorf("%s: time increased from budget step to I=%v", bench, b)
+			}
+			prev = c.TimeNS
+			if b == 1.0 && math.Abs(c.NormalizedTime-1) > 1e-9 {
+				t.Errorf("%s: normalization broken at I=1.0", bench)
+			}
+		}
+		// Performance must improve overall from I=1.0 to I=1.6.
+		last, _ := r.Cell(bench, 1.6)
+		if last.NormalizedTime > 0.95 {
+			t.Errorf("%s: only %.1f%% improvement at I=1.6; paper shows smooth trade-offs",
+				bench, (1-last.NormalizedTime)*100)
+		}
+	}
+}
+
+func TestFig11TradeoffShapes(t *testing.T) {
+	l := testLab(t)
+	r, err := l.Fig11(workload.HeadlineNames(), 1.3, Fig11Thresholds(), core.DefaultOverhead())
+	if err != nil {
+		t.Fatal(err)
+	}
+	improvedSomewhere := false
+	for _, tr := range r.Tradeoffs {
+		// Paper: "performance degradation is always within the cluster
+		// threshold" (without overhead). The band is two-sided, so small
+		// improvements are also legitimate.
+		bound := tr.Threshold * 100 / (1 - tr.Threshold)
+		if tr.PerfDegradationPct < -(bound+0.7) || tr.PerfDegradationPct > bound+0.1 {
+			t.Errorf("th %.0f%%: degradation %.2f%% outside ±%.2f%%",
+				tr.Threshold*100, tr.PerfDegradationPct, bound)
+		}
+		// Region schedules transition no more than optimal tracking.
+		if tr.RegionTransitions > tr.OptimalTransitions {
+			t.Errorf("region schedule transitions %d > optimal %d",
+				tr.RegionTransitions, tr.OptimalTransitions)
+		}
+		if tr.PerfDegradationWithOverheadPct < tr.PerfDegradationPct-1e-9 {
+			improvedSomewhere = true
+		}
+	}
+	if !improvedSomewhere {
+		t.Error("tuning overhead never favored the region schedule; paper's Fig 11b shows it should")
+	}
+}
+
+func TestFig12StepSensitivityShapes(t *testing.T) {
+	l := testLab(t)
+	r, err := l.Fig12("gobmk", 1.3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Coarse.Settings != 70 || r.Fine.Settings != 496 {
+		t.Fatalf("space sizes %d/%d", r.Coarse.Settings, r.Fine.Settings)
+	}
+	// Paper: average region length stays the same or decreases with more
+	// steps (more, better choices -> clusters move more). Measurement
+	// noise makes the comparison fuzzy at short region lengths, so allow
+	// a small margin.
+	if r.Fine.MeanRegionLen > r.Coarse.MeanRegionLen*1.3 {
+		t.Errorf("fine-grid regions much longer (%.1f) than coarse (%.1f)",
+			r.Fine.MeanRegionLen, r.Coarse.MeanRegionLen)
+	}
+	// Paper: only a small performance improvement from finer steps when
+	// tuning is free (they observe <1%; our budget frontier sits between
+	// coarse rungs, so we allow a few percent — see EXPERIMENTS.md).
+	if r.PerfGainPct < -1 || r.PerfGainPct > 5 {
+		t.Errorf("fine-grid perf gain %.2f%%, want small", r.PerfGainPct)
+	}
+}
+
+func TestGovCompareShapes(t *testing.T) {
+	l := testLab(t)
+	r, err := l.GovCompare("gobmk", 1.3, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf, err := r.Row("performance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	save, err := r.Row("powersave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromMax, err := r.Row("from-max")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromPrev, err := r.Row("from-previous")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perf.TimeNS >= save.TimeNS {
+		t.Error("performance governor not faster than powersave")
+	}
+	// Budget governors respect the budget; performance does not.
+	if fromMax.Inefficiency > 1.3*1.06 {
+		t.Errorf("from-max governor inefficiency %.2f exceeds budget", fromMax.Inefficiency)
+	}
+	if perf.Inefficiency < 1.3 {
+		t.Error("performance governor unexpectedly within budget; calibration drifted")
+	}
+	// The paper's Section VII claim: starting the search from the previous
+	// setting is cheaper than restarting from scratch (CoScale-style).
+	if fromPrev.SettingsPerTune >= fromMax.SettingsPerTune {
+		t.Errorf("from-previous searched %.1f settings/tune, from-max %.1f",
+			fromPrev.SettingsPerTune, fromMax.SettingsPerTune)
+	}
+	// Budget governors sit between powersave and performance on speed.
+	if fromMax.TimeNS >= save.TimeNS {
+		t.Error("budget governor not faster than powersave")
+	}
+}
+
+func mkSetting(cpu, mem freq.MHz) freq.Setting {
+	return freq.Setting{CPU: cpu, Mem: mem}
+}
+
+func TestHeteroCrossover(t *testing.T) {
+	// Under tight budgets only the LITTLE core is admissible; with loose
+	// budgets the big core wins on performance. The crossover must exist
+	// for every benchmark.
+	l := testLab(t)
+	budgets := []float64{1.0, 1.1, 1.2, 1.3, 1.6, 2.0}
+	r, err := l.Hetero([]string{"bzip2", "gobmk"}, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range []string{"bzip2", "gobmk"} {
+		tight, err := r.Cell(bench, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tight.Winner != "little" {
+			t.Errorf("%s at I=1.0: winner %s, want little", bench, tight.Winner)
+		}
+		loose, err := r.Cell(bench, 2.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loose.Winner != "big" {
+			t.Errorf("%s at I=2.0: winner %s, want big", bench, loose.Winner)
+		}
+		cross := r.CrossoverBudget[bench]
+		if cross <= 1.0 || cross > 2.0 {
+			t.Errorf("%s: crossover budget %v outside (1.0, 2.0]", bench, cross)
+		}
+	}
+}
+
+func TestLowPowerShapes(t *testing.T) {
+	// Power-down savings must be a small positive system fraction, and a
+	// bandwidth-saturated workload must save less per unit background
+	// than an idle-memory one in savings-fraction terms.
+	l := testLab(t)
+	r, err := l.LowPower([]string{"bzip2", "lbm"}, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range []string{"bzip2", "lbm"} {
+		row, err := r.Row(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.SystemSavingsPct <= 0 || row.SystemSavingsPct > 15 {
+			t.Errorf("%s: power-down savings %.2f%% implausible", bench, row.SystemSavingsPct)
+		}
+	}
+	bz, _ := r.Row("bzip2")
+	lb, _ := r.Row("lbm")
+	if lb.AccessPerNS <= bz.AccessPerNS {
+		t.Error("lbm should present far more memory traffic than bzip2")
+	}
+}
+
+func TestImaxSurveyShapes(t *testing.T) {
+	l := testLab(t)
+	r, err := l.ImaxSurvey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 14 {
+		t.Fatalf("survey covered %d benchmarks", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Imax < 1.5 || row.Imax > 2.5 {
+			t.Errorf("%s: Imax %.2f outside the paper-like band", row.Benchmark, row.Imax)
+		}
+		if row.FastestIneff <= 1 || row.SlowestIneff <= 1 {
+			t.Errorf("%s: extremes not inefficient: %v / %v", row.Benchmark, row.FastestIneff, row.SlowestIneff)
+		}
+		// The worst setting should be a mismatched corner (slow CPU, fast
+		// memory), never the Emin setting itself.
+		if row.ImaxSetting == row.EminSetting {
+			t.Errorf("%s: Imax at the Emin setting is impossible", row.Benchmark)
+		}
+	}
+}
+
+func TestBaselinesShapes(t *testing.T) {
+	// Section II quantified: the rate limiter (even with a best-case
+	// allowance) is slower AND over budget; EDP lands at a fixed
+	// inefficiency it cannot be steered away from.
+	l := testLab(t)
+	r, err := l.Baselines("gobmk", 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget, err := r.Row("budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := r.Row("ratelimit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edp, err := r.Row("edp(n=1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget.Inefficiency > 1.3*1.06 {
+		t.Errorf("budget governor inefficiency %.2f over budget", budget.Inefficiency)
+	}
+	if rate.TimeNS <= budget.TimeNS {
+		t.Error("rate limiter not slower than the budget governor")
+	}
+	if rate.Inefficiency <= budget.Inefficiency {
+		t.Error("rate limiter not less efficient than the budget governor")
+	}
+	if edp.Inefficiency <= 1.3 {
+		t.Errorf("EDP inefficiency %.2f within budget; it should be unsteerable above it", edp.Inefficiency)
+	}
+}
+
+func TestParetoShapes(t *testing.T) {
+	l := testLab(t)
+	for _, bench := range []string{"bzip2", "gobmk"} {
+		r, err := l.Pareto(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Frontier) < 5 || len(r.Frontier) > r.Total {
+			t.Errorf("%s: frontier size %d of %d implausible", bench, len(r.Frontier), r.Total)
+		}
+		// Sorted by ascending time with descending-or-equal energy.
+		for i := 1; i < len(r.Frontier); i++ {
+			if r.Frontier[i].TimeNS < r.Frontier[i-1].TimeNS {
+				t.Fatalf("%s: frontier not time-sorted", bench)
+			}
+			if r.Frontier[i].EnergyJ > r.Frontier[i-1].EnergyJ {
+				t.Fatalf("%s: frontier energy not non-increasing", bench)
+			}
+		}
+	}
+}
+
+func TestFastDVFSShapes(t *testing.T) {
+	// Nanosecond-scale regulators must make per-transition overhead
+	// negligible compared with commercial PLLs, at identical schedules.
+	l := testLab(t)
+	r, err := l.FastDVFS("gobmk", 1.3, []float64{0.01, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range []float64{0.01, 0.05} {
+		slow, err := r.Cell("commercial", th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := r.Cell("on-chip-regulator", th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.TransitionNS >= slow.TransitionNS/10 {
+			t.Errorf("th %v: fast hardware transition overhead %.3f ms not <10%% of commercial %.3f ms",
+				th, fast.TransitionNS/1e6, slow.TransitionNS/1e6)
+		}
+		if fast.Transitions != slow.Transitions {
+			t.Errorf("th %v: schedules diverged (%d vs %d transitions); hardware must not change policy",
+				th, fast.Transitions, slow.Transitions)
+		}
+	}
+	// Commercial hardware transition cost must fall as the threshold
+	// loosens (fewer transitions) — the paper's core motivation.
+	c1, _ := r.Cell("commercial", 0.01)
+	c5, _ := r.Cell("commercial", 0.05)
+	if c5.TransitionNS >= c1.TransitionNS {
+		t.Errorf("commercial transition overhead did not fall with threshold: %.3f -> %.3f ms",
+			c1.TransitionNS/1e6, c5.TransitionNS/1e6)
+	}
+}
+
+func TestModelCompareShapes(t *testing.T) {
+	// The online-learned cross-component model must be a usable stand-in
+	// for the oracle: budget respected, performance within 10%.
+	l := testLab(t)
+	r, err := l.ModelCompare([]string{"gobmk", "lbm"}, 1.3, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range []string{"gobmk", "lbm"} {
+		oracle, err := r.Row(bench, "oracle")
+		if err != nil {
+			t.Fatal(err)
+		}
+		learned, err := r.Row(bench, "learned")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if learned.Inefficiency > 1.3*1.08 {
+			t.Errorf("%s: learned-model governor inefficiency %.3f exceeds budget", bench, learned.Inefficiency)
+		}
+		if learned.TimeNS > oracle.TimeNS*1.10 {
+			t.Errorf("%s: learned-model governor %.0f ms vs oracle %.0f ms",
+				bench, learned.TimeNS/1e6, oracle.TimeNS/1e6)
+		}
+	}
+}

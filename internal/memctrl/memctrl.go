@@ -1,0 +1,140 @@
+// Package memctrl models the memory controller's average behaviour: the
+// expected DRAM access latency as a function of memory clock, row-buffer
+// locality, and offered load.
+//
+// The paper's characterization consumes per-sample aggregate measurements,
+// so the simulator needs the controller's *average* latency, not per-request
+// timing. This package provides a closed-form model:
+//
+//	latency = coreService/(1-refreshOverhead) + queueDelay
+//
+// where coreService mixes row-hit and row-miss device latencies by the
+// workload's row-hit rate, the refresh term accounts for periodic tRFC
+// blackouts, and queueDelay is an M/M/1-style waiting time driven by data
+// bus utilization. The model is validated against the command-level
+// dram.Engine in integration tests (see validate_test.go).
+package memctrl
+
+import (
+	"fmt"
+	"math"
+
+	"mcdvfs/internal/dram"
+	"mcdvfs/internal/freq"
+)
+
+// Load describes the average memory traffic presented to the controller.
+type Load struct {
+	// AccessPerNS is the request arrival rate in accesses per nanosecond.
+	AccessPerNS float64
+	// RowHitRate is the fraction of accesses hitting an open row, in [0,1].
+	RowHitRate float64
+	// WriteFrac is the fraction of accesses that are writes, in [0,1].
+	WriteFrac float64
+}
+
+// Validate reports the first invalid field of the load.
+func (l Load) Validate() error {
+	switch {
+	case l.AccessPerNS < 0 || math.IsNaN(l.AccessPerNS) || math.IsInf(l.AccessPerNS, 0):
+		return fmt.Errorf("memctrl: invalid access rate %v", l.AccessPerNS)
+	case l.RowHitRate < 0 || l.RowHitRate > 1:
+		return fmt.Errorf("memctrl: row hit rate %v outside [0,1]", l.RowHitRate)
+	case l.WriteFrac < 0 || l.WriteFrac > 1:
+		return fmt.Errorf("memctrl: write fraction %v outside [0,1]", l.WriteFrac)
+	}
+	return nil
+}
+
+// Model is the analytic controller model for one device.
+type Model struct {
+	dev dram.Device
+	// utilCap bounds data-bus utilization in the queueing term so the
+	// closed form stays finite; beyond the cap, saturation is expressed
+	// through the bandwidth bound (MinServiceTimeNS) instead.
+	utilCap float64
+}
+
+// New builds a controller model for dev.
+func New(dev dram.Device) (*Model, error) {
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{dev: dev, utilCap: 0.95}, nil
+}
+
+// MustNew is New for static configuration; it panics on an invalid device.
+func MustNew(dev dram.Device) *Model {
+	m, err := New(dev)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Device returns the modeled device.
+func (m *Model) Device() dram.Device { return m.dev }
+
+// CoreServiceNS returns the load-independent device service time at clock f:
+// the row-hit/row-miss mix inflated by refresh unavailability.
+func (m *Model) CoreServiceNS(f freq.MHz, rowHitRate float64) (float64, error) {
+	if err := m.dev.CheckClock(f); err != nil {
+		return 0, err
+	}
+	if rowHitRate < 0 || rowHitRate > 1 {
+		return 0, fmt.Errorf("memctrl: row hit rate %v outside [0,1]", rowHitRate)
+	}
+	mix := rowHitRate*m.dev.RowHitNS(f) + (1-rowHitRate)*m.dev.RowMissNS(f)
+	return mix / (1 - m.dev.RefreshOverhead()), nil
+}
+
+// BusUtilization returns the data-bus utilization implied by the load at
+// clock f (1.0 = the bus is fully occupied by bursts).
+func (m *Model) BusUtilization(f freq.MHz, l Load) (float64, error) {
+	if err := m.dev.CheckClock(f); err != nil {
+		return 0, err
+	}
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	return l.AccessPerNS * m.dev.LineTransferNS(f), nil
+}
+
+// AvgLatencyNS returns the expected per-access latency at clock f under the
+// given load, including queueing.
+func (m *Model) AvgLatencyNS(f freq.MHz, l Load) (float64, error) {
+	core, err := m.CoreServiceNS(f, l.RowHitRate)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	util, err := m.BusUtilization(f, l)
+	if err != nil {
+		return 0, err
+	}
+	if util > m.utilCap {
+		util = m.utilCap
+	}
+	// M/M/1 waiting time with the line transfer as the contended resource.
+	// Writes hold the bank slightly longer (tWR), folded in as extra
+	// service.
+	service := m.dev.LineTransferNS(f) + l.WriteFrac*m.dev.TWRns*0.5
+	queue := util / (1 - util) * service
+	return core + queue, nil
+}
+
+// MinServiceTimeNS returns the bandwidth-bound lower limit on the time to
+// move n cache-line accesses at clock f: the bus must carry every line,
+// degraded by refresh blackouts. Execution time can never be below this
+// bound no matter how latency-tolerant the core is.
+func (m *Model) MinServiceTimeNS(f freq.MHz, n float64) (float64, error) {
+	if err := m.dev.CheckClock(f); err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("memctrl: negative access count %v", n)
+	}
+	return n * m.dev.LineTransferNS(f) / (1 - m.dev.RefreshOverhead()), nil
+}

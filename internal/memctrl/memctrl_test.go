@@ -1,0 +1,188 @@
+package memctrl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mcdvfs/internal/dram"
+	"mcdvfs/internal/freq"
+)
+
+func model(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(dram.DefaultDevice())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestCoreServiceMixesHitAndMiss(t *testing.T) {
+	m := model(t)
+	d := dram.DefaultDevice()
+	f := freq.MHz(800)
+	allHit, err := m.CoreServiceNS(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allMiss, err := m.CoreServiceNS(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHit := d.RowHitNS(f) / (1 - d.RefreshOverhead())
+	wantMiss := d.RowMissNS(f) / (1 - d.RefreshOverhead())
+	if math.Abs(allHit-wantHit) > 1e-9 || math.Abs(allMiss-wantMiss) > 1e-9 {
+		t.Errorf("core service = %v/%v, want %v/%v", allHit, allMiss, wantHit, wantMiss)
+	}
+	mid, _ := m.CoreServiceNS(f, 0.5)
+	if mid <= allHit || mid >= allMiss {
+		t.Errorf("mixed service %v not between %v and %v", mid, allHit, allMiss)
+	}
+}
+
+func TestLatencyIncreasesWithLoad(t *testing.T) {
+	m := model(t)
+	f := freq.MHz(400)
+	prev := 0.0
+	// Stay below the utilization cap (0.95): at 400 MHz one line transfer
+	// is 20 ns, so the cap sits at 0.0475 accesses/ns.
+	for _, rate := range []float64{0, 0.005, 0.01, 0.02, 0.04} {
+		lat, err := m.AvgLatencyNS(f, Load{AccessPerNS: rate, RowHitRate: 0.6})
+		if err != nil {
+			t.Fatalf("AvgLatencyNS(rate=%v): %v", rate, err)
+		}
+		if lat <= prev {
+			t.Errorf("latency not increasing with load at rate %v: %v <= %v", rate, lat, prev)
+		}
+		prev = lat
+	}
+}
+
+func TestLatencyDecreasesWithClockAtFixedLoad(t *testing.T) {
+	m := model(t)
+	l := Load{AccessPerNS: 0.02, RowHitRate: 0.6}
+	prev := math.Inf(1)
+	for _, f := range freq.Ladder(200, 800, 100) {
+		lat, err := m.AvgLatencyNS(f, l)
+		if err != nil {
+			t.Fatalf("AvgLatencyNS(%v): %v", f, err)
+		}
+		if lat >= prev {
+			t.Errorf("latency not decreasing at %v: %v >= %v", f, lat, prev)
+		}
+		prev = lat
+	}
+}
+
+func TestUnloadedLatencyEqualsCoreService(t *testing.T) {
+	m := model(t)
+	f := freq.MHz(600)
+	lat, err := m.AvgLatencyNS(f, Load{AccessPerNS: 0, RowHitRate: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, _ := m.CoreServiceNS(f, 0.7)
+	if math.Abs(lat-core) > 1e-12 {
+		t.Errorf("unloaded latency = %v, want core service %v", lat, core)
+	}
+}
+
+func TestBusUtilization(t *testing.T) {
+	m := model(t)
+	d := dram.DefaultDevice()
+	f := freq.MHz(800)
+	// One line access every line-transfer-time is utilization 1.
+	rate := 1 / d.LineTransferNS(f)
+	u, err := m.BusUtilization(f, Load{AccessPerNS: rate, RowHitRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-1) > 1e-9 {
+		t.Errorf("utilization = %v, want 1", u)
+	}
+}
+
+func TestLatencyFiniteAtSaturation(t *testing.T) {
+	m := model(t)
+	lat, err := m.AvgLatencyNS(200, Load{AccessPerNS: 10, RowHitRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(lat, 0) || math.IsNaN(lat) || lat <= 0 {
+		t.Errorf("saturated latency = %v, want finite positive", lat)
+	}
+}
+
+func TestMinServiceTime(t *testing.T) {
+	m := model(t)
+	d := dram.DefaultDevice()
+	n := 1000.0
+	got, err := m.MinServiceTimeNS(800, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := n * d.LineTransferNS(800) / (1 - d.RefreshOverhead())
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("MinServiceTimeNS = %v, want %v", got, want)
+	}
+	// Halving the clock doubles the bound.
+	got400, _ := m.MinServiceTimeNS(400, n)
+	if math.Abs(got400/got-2) > 1e-9 {
+		t.Errorf("bound ratio = %v, want 2", got400/got)
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	m := model(t)
+	bad := []Load{
+		{AccessPerNS: -1},
+		{AccessPerNS: math.NaN()},
+		{RowHitRate: 1.5},
+		{RowHitRate: -0.1},
+		{WriteFrac: 2},
+	}
+	for _, l := range bad {
+		if _, err := m.AvgLatencyNS(400, l); err == nil {
+			t.Errorf("load %+v accepted", l)
+		}
+	}
+}
+
+func TestClockRangeEnforced(t *testing.T) {
+	m := model(t)
+	if _, err := m.AvgLatencyNS(100, Load{}); err == nil {
+		t.Error("clock below range accepted")
+	}
+	if _, err := m.MinServiceTimeNS(1000, 1); err == nil {
+		t.Error("clock above range accepted")
+	}
+}
+
+func TestWritesAddQueueingCost(t *testing.T) {
+	m := model(t)
+	l := Load{AccessPerNS: 0.05, RowHitRate: 0.6}
+	rd, _ := m.AvgLatencyNS(400, l)
+	l.WriteFrac = 0.5
+	wr, _ := m.AvgLatencyNS(400, l)
+	if wr <= rd {
+		t.Errorf("write-heavy latency %v not above read-only %v", wr, rd)
+	}
+}
+
+// Property: latency is monotone in row-miss fraction for any valid load.
+func TestLatencyMonotoneInMissRate(t *testing.T) {
+	m := model(t)
+	f := func(hitRaw, rateRaw uint16) bool {
+		hit := float64(hitRaw%1000) / 1000
+		rate := float64(rateRaw%100) / 2000
+		l1 := Load{AccessPerNS: rate, RowHitRate: hit}
+		l2 := Load{AccessPerNS: rate, RowHitRate: hit * 0.5} // fewer hits
+		a, err1 := m.AvgLatencyNS(400, l1)
+		b, err2 := m.AvgLatencyNS(400, l2)
+		return err1 == nil && err2 == nil && b >= a-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

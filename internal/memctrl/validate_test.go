@@ -1,0 +1,103 @@
+package memctrl
+
+import (
+	"math"
+	"testing"
+
+	"mcdvfs/internal/dram"
+	"mcdvfs/internal/freq"
+	"mcdvfs/internal/rng"
+)
+
+// genStream builds a synthetic open-page request stream with approximately
+// the target row-hit rate and Poisson arrivals at the given rate.
+func genStream(src *rng.Source, n int, ratePerNS, rowHitRate float64, banks int) []dram.Request {
+	reqs := make([]dram.Request, 0, n)
+	now := 0.0
+	lastRow := make([]int, banks)
+	nextRow := 1
+	for i := 0; i < n; i++ {
+		now += src.Exp(1 / ratePerNS)
+		bank := src.Intn(banks)
+		row := lastRow[bank]
+		if row == 0 || src.Float64() > rowHitRate {
+			row = nextRow
+			nextRow++
+			lastRow[bank] = row
+		}
+		reqs = append(reqs, dram.Request{ArrivalNS: now, Bank: bank, Row: row})
+	}
+	return reqs
+}
+
+// TestAnalyticMatchesEngine drives the command-level engine and the
+// closed-form model with the same traffic and requires broad agreement.
+// The analytic model is an average-behaviour approximation, so the
+// tolerance is generous (35%), but it must hold across clocks, loads, and
+// localities — that is what the simulator's fidelity rests on.
+func TestAnalyticMatchesEngine(t *testing.T) {
+	m := model(t)
+	dev := dram.DefaultDevice()
+	cases := []struct {
+		clock  freq.MHz
+		rate   float64 // accesses per ns
+		rowHit float64
+	}{
+		{800, 0.005, 0.8},
+		{800, 0.02, 0.5},
+		{400, 0.005, 0.8},
+		{400, 0.015, 0.3},
+		{200, 0.004, 0.6},
+		{600, 0.01, 0.9},
+	}
+	for _, c := range cases {
+		src := rng.New(1234)
+		reqs := genStream(src, 4000, c.rate, c.rowHit, dev.Banks)
+		eng, err := dram.NewEngine(dev, c.clock)
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		st, err := eng.ServiceAll(reqs)
+		if err != nil {
+			t.Fatalf("ServiceAll: %v", err)
+		}
+		// Feed the engine's *achieved* row-hit rate to the analytic model so
+		// the comparison isolates latency modeling, not locality generation.
+		lat, err := m.AvgLatencyNS(c.clock, Load{AccessPerNS: c.rate, RowHitRate: st.RowHitRate()})
+		if err != nil {
+			t.Fatalf("AvgLatencyNS: %v", err)
+		}
+		got := st.AvgLatencyNS()
+		relErr := math.Abs(lat-got) / got
+		if relErr > 0.35 {
+			t.Errorf("clock %v rate %v hit %.2f: analytic %.1f ns vs engine %.1f ns (rel err %.0f%%)",
+				c.clock, c.rate, c.rowHit, lat, got, relErr*100)
+		}
+	}
+}
+
+// TestAnalyticOrderingMatchesEngine checks that the model ranks
+// configurations the same way the engine does: lower clock -> higher
+// latency, higher load -> higher latency.
+func TestAnalyticOrderingMatchesEngine(t *testing.T) {
+	dev := dram.DefaultDevice()
+	run := func(clock freq.MHz, rate float64) float64 {
+		src := rng.New(99)
+		reqs := genStream(src, 3000, rate, 0.6, dev.Banks)
+		eng, err := dram.NewEngine(dev, clock)
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		st, err := eng.ServiceAll(reqs)
+		if err != nil {
+			t.Fatalf("ServiceAll: %v", err)
+		}
+		return st.AvgLatencyNS()
+	}
+	if run(200, 0.01) <= run(800, 0.01) {
+		t.Error("engine: 200MHz not slower than 800MHz")
+	}
+	if run(400, 0.02) <= run(400, 0.002) {
+		t.Error("engine: loaded not slower than unloaded")
+	}
+}

@@ -1,0 +1,140 @@
+// Package predict implements the prediction approaches the paper sketches
+// for real systems: estimating Emin without a full brute-force search every
+// interval (Section II-B "predicting and learning"), and predicting how
+// long the current stable region will last so governors can tune less
+// often (Section VII "learning").
+package predict
+
+import (
+	"fmt"
+	"math"
+)
+
+// EminPredictor estimates the minimum energy the next sample could consume,
+// the denominator of the inefficiency metric. Implementations learn from
+// observed values.
+type EminPredictor interface {
+	// Predict returns the estimated Emin for the next sample, and false if
+	// the predictor has not seen enough history to estimate.
+	Predict() (float64, bool)
+	// Observe records the measured (or brute-force computed) Emin of the
+	// sample that just completed.
+	Observe(eminJ float64)
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// LastValue predicts that the next sample's Emin equals the last observed
+// one — the simplest learner, effective because consecutive samples usually
+// share a phase.
+type LastValue struct {
+	last float64
+	seen bool
+}
+
+// NewLastValue returns an empty last-value predictor.
+func NewLastValue() *LastValue { return &LastValue{} }
+
+// Name implements EminPredictor.
+func (p *LastValue) Name() string { return "last-value" }
+
+// Predict implements EminPredictor.
+func (p *LastValue) Predict() (float64, bool) { return p.last, p.seen }
+
+// Observe implements EminPredictor.
+func (p *LastValue) Observe(eminJ float64) {
+	p.last = eminJ
+	p.seen = true
+}
+
+// EWMA predicts Emin with an exponentially weighted moving average,
+// trading responsiveness for noise immunity.
+type EWMA struct {
+	alpha float64
+	value float64
+	seen  bool
+}
+
+// NewEWMA builds an EWMA predictor with smoothing factor alpha in (0, 1];
+// alpha = 1 degenerates to last-value.
+func NewEWMA(alpha float64) (*EWMA, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("predict: EWMA alpha %v outside (0,1]", alpha)
+	}
+	return &EWMA{alpha: alpha}, nil
+}
+
+// Name implements EminPredictor.
+func (p *EWMA) Name() string { return "ewma" }
+
+// Predict implements EminPredictor.
+func (p *EWMA) Predict() (float64, bool) { return p.value, p.seen }
+
+// Observe implements EminPredictor.
+func (p *EWMA) Observe(eminJ float64) {
+	if !p.seen {
+		p.value = eminJ
+		p.seen = true
+		return
+	}
+	p.value = p.alpha*eminJ + (1-p.alpha)*p.value
+}
+
+// PhaseTable predicts Emin by classifying samples into phases using a
+// quantized (CPI, MPKI) signature and remembering the last Emin seen per
+// phase — the offline-profile flavor the paper proposes, built online.
+type PhaseTable struct {
+	cpiBin, mpkiBin float64
+	table           map[phaseKey]float64
+	lastKey         phaseKey
+	haveLast        bool
+}
+
+type phaseKey struct {
+	cpi, mpki int
+}
+
+// NewPhaseTable builds a phase-keyed Emin table. cpiBin and mpkiBin set the
+// quantization granularity (e.g. 0.25 CPI, 4 MPKI).
+func NewPhaseTable(cpiBin, mpkiBin float64) (*PhaseTable, error) {
+	if cpiBin <= 0 || mpkiBin <= 0 {
+		return nil, fmt.Errorf("predict: non-positive phase bins %v/%v", cpiBin, mpkiBin)
+	}
+	return &PhaseTable{cpiBin: cpiBin, mpkiBin: mpkiBin, table: make(map[phaseKey]float64)}, nil
+}
+
+// Name implements EminPredictor.
+func (p *PhaseTable) Name() string { return "phase-table" }
+
+// Classify records the phase signature of the sample about to run, which
+// Predict will use. Call it before Predict when the signature is known
+// (e.g. from profiling or the previous sample's counters).
+func (p *PhaseTable) Classify(cpi, mpki float64) {
+	p.lastKey = phaseKey{
+		cpi:  int(math.Floor(cpi / p.cpiBin)),
+		mpki: int(math.Floor(mpki / p.mpkiBin)),
+	}
+	p.haveLast = true
+}
+
+// Predict implements EminPredictor: it returns the remembered Emin for the
+// current phase signature.
+func (p *PhaseTable) Predict() (float64, bool) {
+	if !p.haveLast {
+		return 0, false
+	}
+	v, ok := p.table[p.lastKey]
+	return v, ok
+}
+
+// Observe implements EminPredictor, attributing the observation to the
+// current phase signature.
+func (p *PhaseTable) Observe(eminJ float64) {
+	if !p.haveLast {
+		return
+	}
+	p.table[p.lastKey] = eminJ
+}
+
+// Len returns the number of distinct phases learned.
+func (p *PhaseTable) Len() int { return len(p.table) }

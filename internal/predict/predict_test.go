@@ -1,0 +1,181 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLastValue(t *testing.T) {
+	p := NewLastValue()
+	if _, ok := p.Predict(); ok {
+		t.Error("empty predictor claimed a prediction")
+	}
+	p.Observe(3.5)
+	v, ok := p.Predict()
+	if !ok || v != 3.5 {
+		t.Errorf("Predict = %v,%v", v, ok)
+	}
+	p.Observe(4.0)
+	if v, _ := p.Predict(); v != 4.0 {
+		t.Errorf("Predict after update = %v", v)
+	}
+	if p.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	p, err := NewEWMA(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Predict(); ok {
+		t.Error("empty EWMA claimed a prediction")
+	}
+	p.Observe(10)
+	if v, _ := p.Predict(); v != 10 {
+		t.Errorf("first observation should seed value, got %v", v)
+	}
+	p.Observe(20)
+	if v, _ := p.Predict(); math.Abs(v-15) > 1e-12 {
+		t.Errorf("EWMA = %v, want 15", v)
+	}
+}
+
+func TestEWMAAlphaOneIsLastValue(t *testing.T) {
+	p, _ := NewEWMA(1)
+	p.Observe(1)
+	p.Observe(9)
+	if v, _ := p.Predict(); v != 9 {
+		t.Errorf("alpha=1 EWMA = %v, want 9", v)
+	}
+}
+
+func TestEWMAValidation(t *testing.T) {
+	for _, a := range []float64{0, -0.5, 1.5} {
+		if _, err := NewEWMA(a); err == nil {
+			t.Errorf("alpha %v accepted", a)
+		}
+	}
+}
+
+func TestPhaseTable(t *testing.T) {
+	p, err := NewPhaseTable(0.25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Predict(); ok {
+		t.Error("unclassified predictor claimed a prediction")
+	}
+	// CPU phase.
+	p.Classify(0.9, 1.0)
+	if _, ok := p.Predict(); ok {
+		t.Error("unseen phase claimed a prediction")
+	}
+	p.Observe(2.0)
+	if v, ok := p.Predict(); !ok || v != 2.0 {
+		t.Errorf("cpu phase = %v,%v", v, ok)
+	}
+	// Memory phase learns independently.
+	p.Classify(1.3, 20)
+	if _, ok := p.Predict(); ok {
+		t.Error("new phase should be unknown")
+	}
+	p.Observe(5.0)
+	// Back to the CPU phase: remembered value intact.
+	p.Classify(0.95, 1.2) // same bins as (0.9, 1.0) with 0.25/4 bins
+	if v, ok := p.Predict(); !ok || v != 2.0 {
+		t.Errorf("cpu phase after return = %v,%v, want 2", v, ok)
+	}
+	if p.Len() != 2 {
+		t.Errorf("phases learned = %d, want 2", p.Len())
+	}
+}
+
+func TestPhaseTableValidation(t *testing.T) {
+	if _, err := NewPhaseTable(0, 1); err == nil {
+		t.Error("zero cpi bin accepted")
+	}
+	if _, err := NewPhaseTable(1, -1); err == nil {
+		t.Error("negative mpki bin accepted")
+	}
+}
+
+func TestPhaseTableObserveWithoutClassifyIsNoop(t *testing.T) {
+	p, _ := NewPhaseTable(1, 1)
+	p.Observe(5)
+	if p.Len() != 0 {
+		t.Error("observation without classification stored")
+	}
+}
+
+func TestStabilityPredictorColdStart(t *testing.T) {
+	p, err := NewStabilityPredictor(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.PredictRemaining(); got != 0 {
+		t.Errorf("cold-start prediction = %d, want 0 (always tune)", got)
+	}
+}
+
+func TestStabilityPredictorLearnsMeanLength(t *testing.T) {
+	p, _ := NewStabilityPredictor(8)
+	// Two completed regions of lengths 4 and 6 -> mean 5.
+	for i := 0; i < 4; i++ {
+		p.ObserveStable()
+	}
+	p.ObserveBreak()
+	for i := 0; i < 6; i++ {
+		p.ObserveStable()
+	}
+	p.ObserveBreak()
+	if got := p.PredictRemaining(); got != 5 {
+		t.Errorf("prediction at region start = %d, want 5", got)
+	}
+	// After 3 stable samples the remaining estimate shrinks.
+	p.ObserveStable()
+	p.ObserveStable()
+	p.ObserveStable()
+	if got := p.PredictRemaining(); got != 2 {
+		t.Errorf("prediction mid-region = %d, want 2", got)
+	}
+	if p.Current() != 3 {
+		t.Errorf("current = %d, want 3", p.Current())
+	}
+	// Outliving the mean floors at zero.
+	for i := 0; i < 10; i++ {
+		p.ObserveStable()
+	}
+	if got := p.PredictRemaining(); got != 0 {
+		t.Errorf("prediction past mean = %d, want 0", got)
+	}
+}
+
+func TestStabilityPredictorHistoryBounded(t *testing.T) {
+	p, _ := NewStabilityPredictor(2)
+	for _, l := range []int{10, 2, 2} {
+		for i := 0; i < l; i++ {
+			p.ObserveStable()
+		}
+		p.ObserveBreak()
+	}
+	// History holds {2, 2}; the 10 fell off.
+	if got := p.PredictRemaining(); got != 2 {
+		t.Errorf("prediction = %d, want 2", got)
+	}
+}
+
+func TestStabilityPredictorEmptyBreakIgnored(t *testing.T) {
+	p, _ := NewStabilityPredictor(4)
+	p.ObserveBreak() // no stable samples yet
+	if got := p.PredictRemaining(); got != 0 {
+		t.Errorf("prediction = %d, want 0", got)
+	}
+}
+
+func TestStabilityPredictorValidation(t *testing.T) {
+	if _, err := NewStabilityPredictor(0); err == nil {
+		t.Error("zero history accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+
+	"mcdvfs/internal/governor"
+	"mcdvfs/internal/workload"
+)
+
+// Governor replays an offline profile at runtime: each interval uses the
+// profiled region's setting, with zero search cost. When the observed
+// counters drift beyond the tolerance from the profile's expectations, it
+// falls back to a delegate governor (typically a budget governor) until
+// the counters re-converge — the paper's proposal of extending profiled
+// knowledge to runtime with a safety net.
+type Governor struct {
+	profile   *Profile
+	fallback  governor.Governor
+	tolerance float64
+
+	sample     int
+	fellBack   int
+	lastInSync bool
+}
+
+// NewGovernor builds a profile-replay governor. fallback may be nil, in
+// which case drifted intervals keep the profiled setting anyway.
+// tolerance is the relative counter deviation that triggers the fallback
+// (e.g. 0.3 = 30%); zero disables drift detection.
+func NewGovernor(p *Profile, fallback governor.Governor, tolerance float64) (*Governor, error) {
+	if p == nil {
+		return nil, fmt.Errorf("profile: nil profile")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if tolerance < 0 {
+		return nil, fmt.Errorf("profile: negative tolerance")
+	}
+	return &Governor{profile: p, fallback: fallback, tolerance: tolerance, lastInSync: true}, nil
+}
+
+// Name implements governor.Governor.
+func (g *Governor) Name() string {
+	return fmt.Sprintf("profile(%s,I=%.2f,th=%.0f%%)", g.profile.Benchmark, g.profile.Budget, g.profile.Threshold*100)
+}
+
+// FallbackIntervals reports how many intervals ran on the fallback.
+func (g *Governor) FallbackIntervals() int { return g.fellBack }
+
+// Decide implements governor.Governor.
+func (g *Governor) Decide(prev *governor.Observation, prevProfile *workload.SampleSpec) (governor.Decision, error) {
+	idx := g.sample
+	g.sample++
+
+	inSync := true
+	if prev != nil && g.tolerance > 0 {
+		// Compare the previous interval's counters with the profile's
+		// per-sample expectations for that interval. MPKI drift is judged
+		// on an absolute floor as well: tiny traffic numbers (0.5 vs 1.5
+		// MPKI) are both "memory-idle" and must not read as drift.
+		region := g.profile.RegionAt(prev.Sample)
+		expCPI, expMPKI := region.ExpectedAt(prev.Sample)
+		cpiDrift := rel(prev.CPI, expCPI) > g.tolerance
+		mpkiDrift := rel(prev.MPKI, expMPKI) > g.tolerance && math.Abs(prev.MPKI-expMPKI) > 2
+		if cpiDrift || mpkiDrift {
+			inSync = false
+		}
+	}
+	g.lastInSync = inSync
+
+	if !inSync && g.fallback != nil {
+		g.fellBack++
+		return g.fallback.Decide(prev, prevProfile)
+	}
+	st, err := g.profile.SettingAt(idx)
+	if err != nil {
+		return governor.Decision{}, err
+	}
+	return governor.Decision{Setting: st}, nil
+}
+
+// rel returns |a-b| / max(|b|, eps).
+func rel(a, b float64) float64 {
+	denom := math.Abs(b)
+	if denom < 1e-9 {
+		denom = 1e-9
+	}
+	return math.Abs(a-b) / denom
+}

@@ -1,0 +1,180 @@
+// Package profile implements the paper's Section VII "offline analysis"
+// proposal: profile an application's stable regions offline, ship the
+// profile, and let the runtime tune only at profiled region boundaries —
+// no per-interval searching at all.
+//
+// A Profile records, for one (application, budget, threshold) triple, the
+// stable-region schedule: region boundaries, the setting to hold in each
+// region, and the expected counters (CPI, MPKI) that let the runtime
+// detect when reality diverges from the profile.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mcdvfs/internal/core"
+	"mcdvfs/internal/freq"
+	"mcdvfs/internal/trace"
+)
+
+// RegionEntry is one profiled stable region.
+type RegionEntry struct {
+	Start   int          `json:"start"`
+	End     int          `json:"end"`
+	Setting freq.Setting `json:"setting"`
+	// ExpectedCPI and ExpectedMPKI are the mean counters over the region
+	// at the profiled setting.
+	ExpectedCPI  float64 `json:"expected_cpi"`
+	ExpectedMPKI float64 `json:"expected_mpki"`
+	// SampleCPI and SampleMPKI are the per-sample expected counters
+	// (index 0 = Start), used for precise drift detection at runtime —
+	// intra-region phase variation would otherwise read as drift.
+	SampleCPI  []float64 `json:"sample_cpi"`
+	SampleMPKI []float64 `json:"sample_mpki"`
+}
+
+// ExpectedAt returns the per-sample expectations for an absolute sample
+// index inside the region, falling back to the region means when the
+// per-sample traces are absent (hand-written or truncated profiles).
+func (r RegionEntry) ExpectedAt(sample int) (cpi, mpki float64) {
+	i := sample - r.Start
+	if i >= 0 && i < len(r.SampleCPI) && i < len(r.SampleMPKI) {
+		return r.SampleCPI[i], r.SampleMPKI[i]
+	}
+	return r.ExpectedCPI, r.ExpectedMPKI
+}
+
+// Profile is a complete offline profile.
+type Profile struct {
+	Benchmark   string        `json:"benchmark"`
+	Budget      float64       `json:"budget"`
+	Threshold   float64       `json:"threshold"`
+	SampleInstr uint64        `json:"sample_instructions"`
+	Regions     []RegionEntry `json:"regions"`
+}
+
+// Build profiles a characterized grid: it computes the stable regions for
+// the budget/threshold and records each region's setting and expected
+// counters.
+func Build(g *trace.Grid, budget, threshold float64) (*Profile, error) {
+	a, err := core.NewAnalysis(g)
+	if err != nil {
+		return nil, err
+	}
+	regions, err := a.StableRegions(budget, threshold)
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{
+		Benchmark:   g.Benchmark,
+		Budget:      budget,
+		Threshold:   threshold,
+		SampleInstr: g.SampleInstr,
+	}
+	for _, r := range regions {
+		entry := RegionEntry{
+			Start:   r.Start,
+			End:     r.End,
+			Setting: g.Setting(r.Choice),
+		}
+		for s := r.Start; s <= r.End; s++ {
+			m := g.At(s, r.Choice)
+			entry.ExpectedCPI += m.CPI
+			entry.ExpectedMPKI += m.MPKI
+			entry.SampleCPI = append(entry.SampleCPI, m.CPI)
+			entry.SampleMPKI = append(entry.SampleMPKI, m.MPKI)
+		}
+		n := float64(r.Len())
+		entry.ExpectedCPI /= n
+		entry.ExpectedMPKI /= n
+		p.Regions = append(p.Regions, entry)
+	}
+	return p, nil
+}
+
+// Validate checks structural consistency: contiguous, ordered, non-empty
+// coverage starting at sample 0.
+func (p *Profile) Validate() error {
+	if p.Benchmark == "" {
+		return fmt.Errorf("profile: missing benchmark name")
+	}
+	if p.Budget < 1 {
+		return fmt.Errorf("profile: budget %v below 1", p.Budget)
+	}
+	if p.Threshold < 0 || p.Threshold >= 1 {
+		return fmt.Errorf("profile: threshold %v outside [0,1)", p.Threshold)
+	}
+	if p.SampleInstr == 0 {
+		return fmt.Errorf("profile: missing sample length")
+	}
+	if len(p.Regions) == 0 {
+		return fmt.Errorf("profile: no regions")
+	}
+	next := 0
+	for i, r := range p.Regions {
+		if r.Start != next {
+			return fmt.Errorf("profile: region %d starts at %d, want %d", i, r.Start, next)
+		}
+		if r.End < r.Start {
+			return fmt.Errorf("profile: region %d inverted [%d,%d]", i, r.Start, r.End)
+		}
+		next = r.End + 1
+	}
+	return nil
+}
+
+// NumSamples returns the profiled run length.
+func (p *Profile) NumSamples() int {
+	if len(p.Regions) == 0 {
+		return 0
+	}
+	return p.Regions[len(p.Regions)-1].End + 1
+}
+
+// SettingAt returns the profiled setting for a sample index. Samples past
+// the profiled run reuse the last region (applications often loop).
+func (p *Profile) SettingAt(sample int) (freq.Setting, error) {
+	if len(p.Regions) == 0 {
+		return freq.Setting{}, fmt.Errorf("profile: empty profile")
+	}
+	if sample < 0 {
+		return freq.Setting{}, fmt.Errorf("profile: negative sample %d", sample)
+	}
+	for _, r := range p.Regions {
+		if sample >= r.Start && sample <= r.End {
+			return r.Setting, nil
+		}
+	}
+	return p.Regions[len(p.Regions)-1].Setting, nil
+}
+
+// RegionAt returns the region covering the sample, clamping past the end.
+func (p *Profile) RegionAt(sample int) RegionEntry {
+	for _, r := range p.Regions {
+		if sample >= r.Start && sample <= r.End {
+			return r
+		}
+	}
+	return p.Regions[len(p.Regions)-1]
+}
+
+// WriteJSON serializes the profile.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadJSON deserializes and validates a profile.
+func ReadJSON(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("profile: decoding: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

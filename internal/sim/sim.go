@@ -1,0 +1,271 @@
+// Package sim is the system simulator: it combines the CPU timing/power
+// model, the memory-controller latency model, and the DRAM energy model to
+// produce the per-sample measurements the paper collects from gem5 — time,
+// CPU energy, memory energy, CPI, and MPKI for every (CPU frequency, memory
+// frequency) setting.
+//
+// # Performance model
+//
+// For a sample of N instructions with base CPI c, MPKI m, row-hit rate h,
+// and memory-level parallelism p, executed at CPU frequency fc and memory
+// frequency fm:
+//
+//	computeTime = N·c / rate(fc)
+//	stallTime   = M·L(fm, load) / p,  M = N·m/1000
+//
+// where L is the controller's average access latency under the offered
+// load. Because the offered load itself depends on execution time, the
+// solver iterates to a fixed point (with damping), then applies the
+// bandwidth bound: execution time can never be less than the time the bus
+// needs to move M bursts.
+//
+// This reproduces the first-order interaction the paper studies: raising
+// CPU frequency inflates the *cycle* cost of memory stalls, raising memory
+// frequency shrinks burst time and queueing, and the benefit of each knob
+// depends on the workload's CPU/memory mix.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"mcdvfs/internal/cpupower"
+	"mcdvfs/internal/dram"
+	"mcdvfs/internal/freq"
+	"mcdvfs/internal/memctrl"
+	"mcdvfs/internal/rng"
+	"mcdvfs/internal/workload"
+)
+
+// Config assembles a system.
+type Config struct {
+	CPUPower cpupower.Params
+	Device   dram.Device
+	// MeasurementNoise is the log-scale sigma of multiplicative noise
+	// applied to each measured time and energy, modeling the run-to-run
+	// simulation noise the paper filters with its 0.5% speedup tie band.
+	// Noise is deterministic in (sample, setting), so repeated collections
+	// are identical. Zero disables it.
+	MeasurementNoise float64
+	// CPIFactor scales every workload's base CPI, modeling a weaker
+	// microarchitecture (e.g. a LITTLE companion core executes the same
+	// instructions at higher CPI). Zero means 1.0 (no scaling).
+	CPIFactor float64
+}
+
+// DefaultConfig returns the calibrated platform emulating the paper's
+// system (A15-class core, LPDDR3 single-channel memory).
+func DefaultConfig() Config {
+	return Config{
+		CPUPower:         cpupower.DefaultParams(),
+		Device:           dram.DefaultDevice(),
+		MeasurementNoise: 0.01,
+	}
+}
+
+// NoiselessConfig is DefaultConfig without measurement noise, for property
+// tests and analyses that need exact model behaviour.
+func NoiselessConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MeasurementNoise = 0
+	return cfg
+}
+
+// System simulates one platform. It is safe for concurrent use: all state
+// is immutable after construction.
+type System struct {
+	cpu       *cpupower.Model
+	mem       *dram.EnergyModel
+	ctrl      *memctrl.Model
+	noise     float64
+	cpiFactor float64
+}
+
+// New builds a System from cfg.
+func New(cfg Config) (*System, error) {
+	cpu, err := cpupower.New(cfg.CPUPower)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	mem, err := dram.NewEnergyModel(cfg.Device)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	ctrl, err := memctrl.New(cfg.Device)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if cfg.MeasurementNoise < 0 || cfg.MeasurementNoise > 0.2 {
+		return nil, fmt.Errorf("sim: measurement noise %v outside [0, 0.2]", cfg.MeasurementNoise)
+	}
+	cpiFactor := cfg.CPIFactor
+	if cpiFactor == 0 {
+		cpiFactor = 1
+	}
+	if cpiFactor < 0.1 || cpiFactor > 10 {
+		return nil, fmt.Errorf("sim: CPI factor %v outside [0.1, 10]", cfg.CPIFactor)
+	}
+	return &System{cpu: cpu, mem: mem, ctrl: ctrl, noise: cfg.MeasurementNoise, cpiFactor: cpiFactor}, nil
+}
+
+// MustNew is New for static configuration; it panics on error.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Sample is one simulated measurement: the same quantities the paper
+// collects from gem5 every 10 million user-mode instructions.
+type Sample struct {
+	Instructions uint64
+	TimeNS       float64
+	CPUEnergyJ   float64
+	MemEnergyJ   float64
+	// CPI is the achieved cycles per instruction at the CPU clock,
+	// including exposed memory stall cycles.
+	CPI float64
+	// MPKI is the realized DRAM accesses per thousand instructions.
+	MPKI float64
+	// Activity is the fraction of time the core computed (vs stalled).
+	Activity float64
+}
+
+// EnergyJ returns total sample energy.
+func (s Sample) EnergyJ() float64 { return s.CPUEnergyJ + s.MemEnergyJ }
+
+const (
+	fixedPointIters = 50
+	fixedPointTol   = 1e-9 // relative change per iteration
+)
+
+// SimulateSample produces the measurement for one workload sample at one
+// setting.
+func (s *System) SimulateSample(spec workload.SampleSpec, st freq.Setting) (Sample, error) {
+	if spec.Instructions == 0 {
+		return Sample{}, fmt.Errorf("sim: sample with zero instructions")
+	}
+	if spec.BaseCPI <= 0 || spec.MLP < 1 {
+		return Sample{}, fmt.Errorf("sim: non-physical sample spec %+v", spec)
+	}
+	n := float64(spec.Instructions)
+	accesses := n * spec.MPKI / 1000
+	cpuCyclesPerNS := st.CPU.GHz()
+	computeNS := n * spec.BaseCPI * s.cpiFactor / cpuCyclesPerNS
+
+	// Fixed point on execution time. Start from the unloaded latency.
+	load := memctrl.Load{RowHitRate: spec.RowHitRate, WriteFrac: spec.WriteFrac}
+	lat0, err := s.ctrl.AvgLatencyNS(st.Mem, load)
+	if err != nil {
+		return Sample{}, fmt.Errorf("sim: %w", err)
+	}
+	bwBound, err := s.ctrl.MinServiceTimeNS(st.Mem, accesses)
+	if err != nil {
+		return Sample{}, fmt.Errorf("sim: %w", err)
+	}
+	t := computeNS + accesses*lat0/spec.MLP
+	if t < bwBound {
+		t = bwBound
+	}
+	for i := 0; i < fixedPointIters; i++ {
+		load.AccessPerNS = 0
+		if t > 0 {
+			load.AccessPerNS = accesses / t
+		}
+		lat, err := s.ctrl.AvgLatencyNS(st.Mem, load)
+		if err != nil {
+			return Sample{}, fmt.Errorf("sim: %w", err)
+		}
+		next := computeNS + accesses*lat/spec.MLP
+		if next < bwBound {
+			next = bwBound
+		}
+		// Damp to guarantee convergence of the negative-feedback loop.
+		next = (next + t) / 2
+		if math.Abs(next-t) <= fixedPointTol*t {
+			t = next
+			break
+		}
+		t = next
+	}
+
+	activity := 1.0
+	if t > 0 {
+		activity = computeNS / t
+	}
+	if activity > 1 {
+		activity = 1
+	}
+
+	cpuE, err := s.cpu.Energy(st.CPU, activity, t)
+	if err != nil {
+		return Sample{}, fmt.Errorf("sim: %w", err)
+	}
+	// Counts are in data bursts: each cache-line access moves LineBursts
+	// bursts; activates happen once per row miss.
+	lineBursts := float64(s.mem.Device().LineBursts())
+	counts := dram.Counts{
+		Reads:     int(accesses*(1-spec.WriteFrac)*lineBursts + 0.5),
+		Writes:    int(accesses*spec.WriteFrac*lineBursts + 0.5),
+		Activates: int(accesses*(1-spec.RowHitRate) + 0.5),
+	}
+	memE, err := s.mem.Energy(st.Mem, counts, t)
+	if err != nil {
+		return Sample{}, fmt.Errorf("sim: %w", err)
+	}
+
+	if s.noise > 0 {
+		src := noiseSource(spec, st)
+		t *= src.LogNormFactor(s.noise)
+		cpuE *= src.LogNormFactor(s.noise)
+		memE *= src.LogNormFactor(s.noise)
+	}
+
+	return Sample{
+		Instructions: spec.Instructions,
+		TimeNS:       t,
+		CPUEnergyJ:   cpuE,
+		MemEnergyJ:   memE,
+		CPI:          t * cpuCyclesPerNS / n,
+		MPKI:         spec.MPKI,
+		Activity:     activity,
+	}, nil
+}
+
+// noiseSource derives a deterministic noise stream from the sample's
+// realized characteristics and the setting, so identical collections see
+// identical noise while distinct samples, benchmarks, and settings see
+// independent draws.
+func noiseSource(spec workload.SampleSpec, st freq.Setting) *rng.Source {
+	h := uint64(spec.Index)*0x9e3779b97f4a7c15 ^
+		math.Float64bits(spec.BaseCPI)*0xbf58476d1ce4e5b9 ^
+		math.Float64bits(spec.MPKI)*0x94d049bb133111eb ^
+		math.Float64bits(float64(st.CPU))*0xd6e8feb86659fd93 ^
+		math.Float64bits(float64(st.Mem))*0xa5a5a5a5a5a5a5a5
+	return rng.New(h)
+}
+
+// SimulateRun simulates every sample of a realized workload at a fixed
+// setting and returns the per-sample measurements.
+func (s *System) SimulateRun(specs []workload.SampleSpec, st freq.Setting) ([]Sample, error) {
+	out := make([]Sample, len(specs))
+	for i, spec := range specs {
+		smp, err := s.SimulateSample(spec, st)
+		if err != nil {
+			return nil, fmt.Errorf("sample %d: %w", i, err)
+		}
+		out[i] = smp
+	}
+	return out, nil
+}
+
+// Totals aggregates a sample slice.
+func Totals(samples []Sample) (timeNS, energyJ float64) {
+	for _, s := range samples {
+		timeNS += s.TimeNS
+		energyJ += s.EnergyJ()
+	}
+	return timeNS, energyJ
+}

@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON hardens grid deserialization: arbitrary input must either
+// produce a structurally valid grid or an error — never a panic and never
+// an invalid grid.
+func FuzzReadJSON(f *testing.F) {
+	// Seeds: a valid grid, truncations, and hostile variants.
+	valid := `{"benchmark":"x","sample_instructions":1,"settings":[{"CPU":100,"Mem":200}],"data":[[{"time_ns":1,"cpu_energy_j":1,"mem_energy_j":0,"cpi":1,"mpki":0}]]}`
+	f.Add([]byte(valid))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"benchmark":"x"}`))
+	f.Add([]byte(`{"benchmark":"x","sample_instructions":1,"settings":[],"data":[]}`))
+	f.Add([]byte(`{"benchmark":"x","sample_instructions":1,"settings":[{"CPU":1e308,"Mem":-1}],"data":[[{"time_ns":-5}]]}`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if vErr := g.Validate(); vErr != nil {
+			t.Fatalf("ReadJSON returned invalid grid: %v", vErr)
+		}
+		// A valid grid must round-trip.
+		var buf bytes.Buffer
+		if wErr := g.WriteJSON(&buf); wErr != nil {
+			t.Fatalf("valid grid failed to serialize: %v", wErr)
+		}
+		if _, rErr := ReadJSON(&buf); rErr != nil {
+			t.Fatalf("round trip failed: %v", rErr)
+		}
+	})
+}

@@ -1,0 +1,186 @@
+// Package trace collects and stores characterization grids: the per-sample,
+// per-setting measurement matrices on which all of the paper's analyses
+// operate.
+//
+// The paper runs each benchmark once per (CPU, memory) frequency pair — 70
+// gem5 simulations for the coarse grid, 496 for the fine one — and samples
+// performance and energy every 10 million user-mode instructions. Collect
+// performs the equivalent sweep against the mcdvfs simulator, producing a
+// Grid indexed [sample][setting].
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"mcdvfs/internal/freq"
+	"mcdvfs/internal/sim"
+	"mcdvfs/internal/workload"
+)
+
+// Measurement is one cell of the grid: what the platform's counters report
+// for one sample at one setting.
+type Measurement struct {
+	TimeNS     float64 `json:"time_ns"`
+	CPUEnergyJ float64 `json:"cpu_energy_j"`
+	MemEnergyJ float64 `json:"mem_energy_j"`
+	CPI        float64 `json:"cpi"`
+	MPKI       float64 `json:"mpki"`
+}
+
+// EnergyJ returns the total (CPU + memory) energy of the measurement.
+func (m Measurement) EnergyJ() float64 { return m.CPUEnergyJ + m.MemEnergyJ }
+
+// Grid is a complete characterization of one benchmark over a setting
+// space: Data[s][k] is the measurement for sample s at setting k, with k a
+// freq.SettingID into Settings.
+type Grid struct {
+	Benchmark   string          `json:"benchmark"`
+	SampleInstr uint64          `json:"sample_instructions"`
+	Settings    []freq.Setting  `json:"settings"`
+	Data        [][]Measurement `json:"data"`
+}
+
+// NumSamples returns the number of samples in the grid.
+func (g *Grid) NumSamples() int { return len(g.Data) }
+
+// NumSettings returns the number of settings in the grid.
+func (g *Grid) NumSettings() int { return len(g.Settings) }
+
+// At returns the measurement for sample s at setting k.
+func (g *Grid) At(s int, k freq.SettingID) Measurement { return g.Data[s][int(k)] }
+
+// Setting returns the setting with ID k.
+func (g *Grid) Setting(k freq.SettingID) freq.Setting { return g.Settings[int(k)] }
+
+// Validate checks structural consistency and physical sanity.
+func (g *Grid) Validate() error {
+	if g.Benchmark == "" {
+		return fmt.Errorf("trace: grid missing benchmark name")
+	}
+	if g.SampleInstr == 0 {
+		return fmt.Errorf("trace: grid missing sample length")
+	}
+	if len(g.Settings) == 0 {
+		return fmt.Errorf("trace: grid has no settings")
+	}
+	if len(g.Data) == 0 {
+		return fmt.Errorf("trace: grid has no samples")
+	}
+	for s, row := range g.Data {
+		if len(row) != len(g.Settings) {
+			return fmt.Errorf("trace: sample %d has %d cells, want %d", s, len(row), len(g.Settings))
+		}
+		for k, m := range row {
+			if m.TimeNS <= 0 || m.CPUEnergyJ < 0 || m.MemEnergyJ < 0 {
+				return fmt.Errorf("trace: sample %d setting %d non-physical: %+v", s, k, m)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalTimeNS returns the end-to-end execution time at a fixed setting.
+func (g *Grid) TotalTimeNS(k freq.SettingID) float64 {
+	sum := 0.0
+	for s := range g.Data {
+		sum += g.Data[s][int(k)].TimeNS
+	}
+	return sum
+}
+
+// TotalEnergyJ returns the end-to-end energy at a fixed setting.
+func (g *Grid) TotalEnergyJ(k freq.SettingID) float64 {
+	sum := 0.0
+	for s := range g.Data {
+		sum += g.Data[s][int(k)].EnergyJ()
+	}
+	return sum
+}
+
+// Collect sweeps the benchmark across every setting in the space,
+// simulating each sample at each setting. Settings are simulated in
+// parallel across the machine's cores.
+func Collect(sys *sim.System, bench workload.Benchmark, space *freq.Space) (*Grid, error) {
+	specs, err := bench.Realize()
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	g := &Grid{
+		Benchmark:   bench.Name,
+		SampleInstr: workload.SampleLen,
+		Settings:    append([]freq.Setting(nil), space.Settings()...),
+		Data:        make([][]Measurement, len(specs)),
+	}
+	for s := range g.Data {
+		g.Data[s] = make([]Measurement, space.Len())
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > space.Len() {
+		workers = space.Len()
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	// Buffered to the full setting count: if workers exit early on error,
+	// the feeder below must never block on a channel nobody drains.
+	ids := make(chan int, space.Len())
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range ids {
+				st := g.Settings[k]
+				for s, spec := range specs {
+					m, err := sys.SimulateSample(spec, st)
+					if err != nil {
+						errOnce.Do(func() {
+							firstErr = fmt.Errorf("trace: setting %v sample %d: %w", st, s, err)
+						})
+						return
+					}
+					g.Data[s][k] = Measurement{
+						TimeNS:     m.TimeNS,
+						CPUEnergyJ: m.CPUEnergyJ,
+						MemEnergyJ: m.MemEnergyJ,
+						CPI:        m.CPI,
+						MPKI:       m.MPKI,
+					}
+				}
+			}
+		}()
+	}
+	for k := range g.Settings {
+		ids <- k
+	}
+	close(ids)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return g, nil
+}
+
+// WriteJSON serializes the grid.
+func (g *Grid) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(g)
+}
+
+// ReadJSON deserializes a grid and validates it.
+func ReadJSON(r io.Reader) (*Grid, error) {
+	var g Grid
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("trace: decoding grid: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}

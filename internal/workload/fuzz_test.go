@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON hardens workload-definition parsing: arbitrary input must
+// produce a valid benchmark or an error, and every accepted benchmark must
+// realize without panicking.
+func FuzzReadJSON(f *testing.F) {
+	valid := `{"name":"x","class":"int","seed":1,"repeat":1,"phases":[{"name":"p","samples":2,"base_cpi":1,"mpki":5,"row_hit_rate":0.5,"mlp":1.5,"write_frac":0.3}]}`
+	f.Add([]byte(valid))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"name":"x","repeat":-1}`))
+	f.Add([]byte(`{"name":"x","repeat":1,"phases":[{"samples":1,"base_cpi":-1,"mlp":1}]}`))
+	f.Add([]byte(`{"name":"x","repeat":1000000,"phases":[{"name":"p","samples":1000000,"base_cpi":1,"mlp":1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if vErr := b.Validate(); vErr != nil {
+			t.Fatalf("ReadJSON returned invalid benchmark: %v", vErr)
+		}
+		// Guard against pathological sizes before realizing.
+		if b.NumSamples() > 100_000 {
+			return
+		}
+		specs, rErr := b.Realize()
+		if rErr != nil {
+			t.Fatalf("valid benchmark failed to realize: %v", rErr)
+		}
+		if len(specs) != b.NumSamples() {
+			t.Fatalf("realized %d, want %d", len(specs), b.NumSamples())
+		}
+	})
+}
+
+// FuzzPhaseValidate checks Validate never panics on arbitrary field
+// combinations assembled from fuzz scalars.
+func FuzzPhaseValidate(f *testing.F) {
+	f.Add(1, 1.0, 1.0, 0.5, 1.5, 0.3, 0.01, 0.01)
+	f.Add(0, -1.0, -5.0, 2.0, 0.0, -1.0, -0.5, 100.0)
+	f.Fuzz(func(t *testing.T, samples int, cpi, mpki, rowHit, mlp, wf, cj, mj float64) {
+		p := Phase{
+			Name: "fuzz", Samples: samples, BaseCPI: cpi, MPKI: mpki,
+			RowHitRate: rowHit, MLP: mlp, WriteFrac: wf, CPIJitter: cj, MPKIJitter: mj,
+		}
+		err := p.Validate()
+		// If it validates, a 1-repeat benchmark around it must realize.
+		if err == nil && samples <= 10_000 {
+			b := Benchmark{Name: "f", Class: "int", Repeat: 1, Phases: []Phase{p}}
+			if _, rErr := b.Realize(); rErr != nil {
+				t.Fatalf("validated phase failed to realize: %v", rErr)
+			}
+		}
+	})
+}

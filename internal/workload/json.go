@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// benchmarkJSON is the serialized form of a Benchmark. The wire names are
+// stable API: user-defined workloads reference them.
+type benchmarkJSON struct {
+	Name   string      `json:"name"`
+	Class  string      `json:"class"`
+	Seed   uint64      `json:"seed"`
+	Repeat int         `json:"repeat"`
+	Phases []phaseJSON `json:"phases"`
+}
+
+type phaseJSON struct {
+	Name       string  `json:"name"`
+	Samples    int     `json:"samples"`
+	BaseCPI    float64 `json:"base_cpi"`
+	MPKI       float64 `json:"mpki"`
+	RowHitRate float64 `json:"row_hit_rate"`
+	MLP        float64 `json:"mlp"`
+	WriteFrac  float64 `json:"write_frac"`
+	CPIJitter  float64 `json:"cpi_jitter"`
+	MPKIJitter float64 `json:"mpki_jitter"`
+}
+
+// WriteJSON serializes the benchmark definition, letting users store and
+// share custom workloads (cmd/sweep -workload consumes them).
+func (b Benchmark) WriteJSON(w io.Writer) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	out := benchmarkJSON{Name: b.Name, Class: b.Class, Seed: b.Seed, Repeat: b.Repeat}
+	for _, p := range b.Phases {
+		out.Phases = append(out.Phases, phaseJSON{
+			Name: p.Name, Samples: p.Samples, BaseCPI: p.BaseCPI, MPKI: p.MPKI,
+			RowHitRate: p.RowHitRate, MLP: p.MLP, WriteFrac: p.WriteFrac,
+			CPIJitter: p.CPIJitter, MPKIJitter: p.MPKIJitter,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes and validates a benchmark definition.
+func ReadJSON(r io.Reader) (Benchmark, error) {
+	var in benchmarkJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return Benchmark{}, fmt.Errorf("workload: decoding benchmark: %w", err)
+	}
+	b := Benchmark{Name: in.Name, Class: in.Class, Seed: in.Seed, Repeat: in.Repeat}
+	for _, p := range in.Phases {
+		b.Phases = append(b.Phases, Phase{
+			Name: p.Name, Samples: p.Samples, BaseCPI: p.BaseCPI, MPKI: p.MPKI,
+			RowHitRate: p.RowHitRate, MLP: p.MLP, WriteFrac: p.WriteFrac,
+			CPIJitter: p.CPIJitter, MPKIJitter: p.MPKIJitter,
+		})
+	}
+	if err := b.Validate(); err != nil {
+		return Benchmark{}, err
+	}
+	return b, nil
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBenchmarkJSONRoundTrip(t *testing.T) {
+	orig := MustByName("gobmk")
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Errorf("round trip changed benchmark:\norig %+v\nback %+v", orig, back)
+	}
+	// The realization must also be identical.
+	a, b := orig.MustRealize(), back.MustRealize()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs after round trip", i)
+		}
+	}
+}
+
+func TestWriteJSONRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	bad := Benchmark{Name: "", Repeat: 1}
+	if err := bad.WriteJSON(&buf); err == nil {
+		t.Error("invalid benchmark serialized")
+	}
+}
+
+func TestReadJSONRejectsBadDefinitions(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"name":"","class":"int","repeat":1,"phases":[{"name":"p","samples":1,"base_cpi":1,"mlp":1}]}`,
+		`{"name":"x","class":"int","repeat":0,"phases":[{"name":"p","samples":1,"base_cpi":1,"mlp":1}]}`,
+		`{"name":"x","class":"int","repeat":1,"phases":[]}`,
+		`{"name":"x","class":"int","repeat":1,"phases":[{"name":"p","samples":1,"base_cpi":0,"mlp":1}]}`,
+		`{"name":"x","class":"int","repeat":1,"phases":[{"name":"p","samples":1,"base_cpi":1,"mlp":0.5}]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("bad definition %d accepted", i)
+		}
+	}
+}
+
+func TestReadJSONMinimalCustomWorkload(t *testing.T) {
+	def := `{
+	  "name": "my-app",
+	  "class": "int",
+	  "seed": 7,
+	  "repeat": 2,
+	  "phases": [
+	    {"name": "busy", "samples": 5, "base_cpi": 0.9, "mpki": 2, "row_hit_rate": 0.6, "mlp": 1.8, "write_frac": 0.3},
+	    {"name": "stream", "samples": 3, "base_cpi": 1.1, "mpki": 20, "row_hit_rate": 0.85, "mlp": 3, "write_frac": 0.4}
+	  ]
+	}`
+	b, err := ReadJSON(strings.NewReader(def))
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if b.NumSamples() != 16 {
+		t.Errorf("samples = %d, want 16", b.NumSamples())
+	}
+	specs := b.MustRealize()
+	if specs[0].PhaseName != "busy" || specs[5].PhaseName != "stream" {
+		t.Errorf("phase layout wrong: %s/%s", specs[0].PhaseName, specs[5].PhaseName)
+	}
+}

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"fmt"
+
+	"mcdvfs/internal/cache"
+)
+
+// LocalityPhase describes a phase from first principles: the core's CPI
+// with all memory references hitting L1, plus a memory locality profile.
+// The cache hierarchy turns it into the (BaseCPI, MPKI) descriptor the
+// simulator consumes, closing the loop between cache configuration and the
+// energy-performance trade-off space.
+type LocalityPhase struct {
+	Name    string
+	Samples int
+	// CoreCPI is cycles per instruction when every access hits L1.
+	CoreCPI  float64
+	Locality cache.Locality
+	// DRAM behaviour of the misses, as in Phase.
+	RowHitRate float64
+	MLP        float64
+	WriteFrac  float64
+	CPIJitter  float64
+	MPKIJitter float64
+}
+
+// DerivePhase evaluates the locality profile through a cache hierarchy and
+// returns the equivalent Phase.
+func DerivePhase(p LocalityPhase, h cache.Hierarchy) (Phase, error) {
+	if p.CoreCPI <= 0 {
+		return Phase{}, fmt.Errorf("workload: phase %q non-positive core CPI", p.Name)
+	}
+	b, err := h.Evaluate(p.Locality)
+	if err != nil {
+		return Phase{}, fmt.Errorf("workload: phase %q: %w", p.Name, err)
+	}
+	return Phase{
+		Name:       p.Name,
+		Samples:    p.Samples,
+		BaseCPI:    p.CoreCPI + b.CPIContribution,
+		MPKI:       b.DRAMMPKI,
+		RowHitRate: p.RowHitRate,
+		MLP:        p.MLP,
+		WriteFrac:  p.WriteFrac,
+		CPIJitter:  p.CPIJitter,
+		MPKIJitter: p.MPKIJitter,
+	}, nil
+}
+
+// DeriveBenchmark builds a Benchmark whose phases are derived from
+// locality profiles under the given cache hierarchy.
+func DeriveBenchmark(name, class string, seed uint64, repeat int, phases []LocalityPhase, h cache.Hierarchy) (Benchmark, error) {
+	derived := make([]Phase, 0, len(phases))
+	for _, p := range phases {
+		ph, err := DerivePhase(p, h)
+		if err != nil {
+			return Benchmark{}, err
+		}
+		derived = append(derived, ph)
+	}
+	b := Benchmark{Name: name, Class: class, Seed: seed, Repeat: repeat, Phases: derived}
+	if err := b.Validate(); err != nil {
+		return Benchmark{}, err
+	}
+	return b, nil
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"testing"
+
+	"mcdvfs/internal/cache"
+)
+
+func soplexLikePhases() []LocalityPhase {
+	return []LocalityPhase{
+		{
+			Name: "factorize", Samples: 12, CoreCPI: 0.95,
+			Locality:   cache.Locality{APKI: 340, StreamFrac: 0.04, WorkingSetBytes: 900 << 10},
+			RowHitRate: 0.60, MLP: 2.2, WriteFrac: 0.30, CPIJitter: 0.03, MPKIJitter: 0.06,
+		},
+		{
+			Name: "price", Samples: 10, CoreCPI: 0.85,
+			Locality:   cache.Locality{APKI: 300, StreamFrac: 0.01, WorkingSetBytes: 500 << 10},
+			RowHitRate: 0.68, MLP: 2.4, WriteFrac: 0.25, CPIJitter: 0.025, MPKIJitter: 0.06,
+		},
+	}
+}
+
+func TestDerivePhase(t *testing.T) {
+	h := cache.Default()
+	p, err := DerivePhase(soplexLikePhases()[0], h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("derived phase invalid: %v", err)
+	}
+	if p.MPKI <= 0 {
+		t.Error("derived MPKI should be positive for a 900KB working set")
+	}
+	if p.BaseCPI <= 0.95 {
+		t.Error("L2 hit latency should add to the core CPI")
+	}
+}
+
+func TestDerivePhaseValidation(t *testing.T) {
+	h := cache.Default()
+	bad := soplexLikePhases()[0]
+	bad.CoreCPI = 0
+	if _, err := DerivePhase(bad, h); err == nil {
+		t.Error("zero core CPI accepted")
+	}
+	bad = soplexLikePhases()[0]
+	bad.Locality.WorkingSetBytes = 0
+	if _, err := DerivePhase(bad, h); err == nil {
+		t.Error("invalid locality accepted")
+	}
+}
+
+func TestDeriveBenchmark(t *testing.T) {
+	b, err := DeriveBenchmark("soplex-like", "fp", 42, 6, soplexLikePhases(), cache.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("derived benchmark invalid: %v", err)
+	}
+	specs := b.MustRealize()
+	if len(specs) != 6*22 {
+		t.Errorf("realized %d samples, want 132", len(specs))
+	}
+}
+
+func TestSmallerL2RaisesDerivedMPKI(t *testing.T) {
+	// The cache-size -> traffic coupling the cachesens experiment studies.
+	big, err := DeriveBenchmark("x", "fp", 1, 1, soplexLikePhases(), cache.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := DeriveBenchmark("x", "fp", 1, 1, soplexLikePhases(), cache.Default().WithL2Size(512<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range big.Phases {
+		if small.Phases[i].MPKI <= big.Phases[i].MPKI {
+			t.Errorf("phase %d: halved L2 MPKI %v not above default %v",
+				i, small.Phases[i].MPKI, big.Phases[i].MPKI)
+		}
+	}
+}
+
+func TestDeriveBenchmarkRejectsBadPhases(t *testing.T) {
+	bad := soplexLikePhases()
+	bad[0].Samples = 0
+	if _, err := DeriveBenchmark("x", "fp", 1, 1, bad, cache.Default()); err == nil {
+		t.Error("zero-sample phase accepted")
+	}
+}

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Suite returns the full benchmark registry keyed by name.
+//
+// The six headline benchmarks carry the phase structure the paper's figures
+// depend on; the rest fill out the population to resemble the paper's 12
+// integer + 9 floating-point SPEC CPU2006 selection.
+func Suite() map[string]Benchmark {
+	m := make(map[string]Benchmark)
+	for _, b := range benchmarks {
+		m[b.Name] = b
+	}
+	return m
+}
+
+// Names returns all benchmark names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(benchmarks))
+	for _, b := range benchmarks {
+		out = append(out, b.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HeadlineNames returns the six benchmarks used throughout the paper's
+// figures, in the paper's display order.
+func HeadlineNames() []string {
+	return []string{"bzip2", "gcc", "gobmk", "lbm", "libquantum", "milc"}
+}
+
+// ByName returns the named benchmark or an error listing valid names.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range benchmarks {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q (valid: %v)", name, Names())
+}
+
+// MustByName is ByName for static callers; it panics on unknown names.
+func MustByName(name string) Benchmark {
+	b, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+var benchmarks = []Benchmark{
+	{
+		// bzip2: CPU-bound compressor. Speedup depends almost entirely on
+		// CPU frequency (Fig 2); at high inefficiency budgets a single
+		// stable region covers the whole run (Fig 9b).
+		Name: "bzip2", Class: "int", Seed: 0xb21b2, Repeat: 10,
+		Phases: []Phase{
+			{Name: "compress", Samples: 12, BaseCPI: 0.85, MPKI: 1.3, RowHitRate: 0.75, MLP: 1.8, WriteFrac: 0.35, CPIJitter: 0.03, MPKIJitter: 0.12},
+			{Name: "decompress", Samples: 8, BaseCPI: 1.00, MPKI: 0.5, RowHitRate: 0.70, MLP: 1.6, WriteFrac: 0.40, CPIJitter: 0.03, MPKIJitter: 0.12},
+		},
+	},
+	{
+		// gcc: long irregular phases mixing compute-heavy optimization
+		// passes with pointer-chasing IR walks; many transitions at low
+		// thresholds that collapse when the threshold rises (Fig 7a/b).
+		Name: "gcc", Class: "int", Seed: 0x9cc, Repeat: 5,
+		Phases: []Phase{
+			{Name: "parse", Samples: 8, BaseCPI: 1.05, MPKI: 6.0, RowHitRate: 0.55, MLP: 1.7, WriteFrac: 0.30, CPIJitter: 0.06, MPKIJitter: 0.15},
+			{Name: "opt-cpu", Samples: 12, BaseCPI: 0.92, MPKI: 2.0, RowHitRate: 0.60, MLP: 1.8, WriteFrac: 0.25, CPIJitter: 0.05, MPKIJitter: 0.12},
+			{Name: "ir-walk", Samples: 6, BaseCPI: 1.20, MPKI: 16.0, RowHitRate: 0.40, MLP: 1.4, WriteFrac: 0.30, CPIJitter: 0.07, MPKIJitter: 0.18},
+			{Name: "regalloc", Samples: 9, BaseCPI: 1.00, MPKI: 4.0, RowHitRate: 0.55, MLP: 1.7, WriteFrac: 0.30, CPIJitter: 0.06, MPKIJitter: 0.15},
+			{Name: "emit", Samples: 5, BaseCPI: 0.95, MPKI: 9.0, RowHitRate: 0.65, MLP: 2.0, WriteFrac: 0.45, CPIJitter: 0.06, MPKIJitter: 0.15},
+		},
+	},
+	{
+		// gobmk: Go-playing search with rapidly alternating balanced
+		// phases, the paper's canonical hard case: optimal settings move
+		// every sample at moderate budgets (Fig 3) and stable regions stay
+		// short even at high thresholds (Fig 9a).
+		Name: "gobmk", Class: "int", Seed: 0x90b3c, Repeat: 8,
+		Phases: []Phase{
+			{Name: "search-a", Samples: 2, BaseCPI: 0.90, MPKI: 1.5, RowHitRate: 0.60, MLP: 1.8, WriteFrac: 0.25, CPIJitter: 0.07, MPKIJitter: 0.25},
+			{Name: "pattern", Samples: 1, BaseCPI: 1.30, MPKI: 24.0, RowHitRate: 0.35, MLP: 1.3, WriteFrac: 0.30, CPIJitter: 0.08, MPKIJitter: 0.25},
+			{Name: "search-b", Samples: 1, BaseCPI: 0.95, MPKI: 6.0, RowHitRate: 0.55, MLP: 1.6, WriteFrac: 0.25, CPIJitter: 0.07, MPKIJitter: 0.25},
+			{Name: "eval", Samples: 2, BaseCPI: 1.15, MPKI: 14.0, RowHitRate: 0.45, MLP: 1.4, WriteFrac: 0.30, CPIJitter: 0.08, MPKIJitter: 0.25},
+			{Name: "search-c", Samples: 1, BaseCPI: 0.85, MPKI: 0.8, RowHitRate: 0.62, MLP: 1.9, WriteFrac: 0.25, CPIJitter: 0.07, MPKIJitter: 0.25},
+		},
+	},
+	{
+		// lbm: fluid-dynamics stencil streaming through memory. Steady,
+		// strongly memory-bound, high row locality; few transitions even at
+		// tight thresholds (Fig 6, Fig 7c/d).
+		Name: "lbm", Class: "fp", Seed: 0x1b3, Repeat: 8,
+		Phases: []Phase{
+			{Name: "stream", Samples: 14, BaseCPI: 0.75, MPKI: 28.0, RowHitRate: 0.88, MLP: 3.5, WriteFrac: 0.45, CPIJitter: 0.02, MPKIJitter: 0.04},
+			{Name: "collide", Samples: 6, BaseCPI: 1.00, MPKI: 16.0, RowHitRate: 0.82, MLP: 2.8, WriteFrac: 0.40, CPIJitter: 0.025, MPKIJitter: 0.05},
+		},
+	},
+	{
+		// libquantum: quantum simulation with a single long streaming loop;
+		// extremely regular.
+		Name: "libquantum", Class: "int", Seed: 0x11b9, Repeat: 1,
+		Phases: []Phase{
+			{Name: "toffoli", Samples: 110, BaseCPI: 0.85, MPKI: 18.0, RowHitRate: 0.92, MLP: 4.0, WriteFrac: 0.30, CPIJitter: 0.02, MPKIJitter: 0.05},
+			{Name: "measure", Samples: 40, BaseCPI: 0.95, MPKI: 12.0, RowHitRate: 0.90, MLP: 3.4, WriteFrac: 0.25, CPIJitter: 0.025, MPKIJitter: 0.06},
+			{Name: "toffoli2", Samples: 50, BaseCPI: 0.85, MPKI: 18.0, RowHitRate: 0.92, MLP: 4.0, WriteFrac: 0.30, CPIJitter: 0.02, MPKIJitter: 0.05},
+		},
+	},
+	{
+		// milc: lattice QCD — CPU-intensive on the whole but with periodic
+		// memory-intensive bursts (Fig 5); performance tracks CPU frequency
+		// more than memory frequency (Fig 2).
+		Name: "milc", Class: "fp", Seed: 0x311c, Repeat: 5,
+		Phases: []Phase{
+			{Name: "su3-compute", Samples: 18, BaseCPI: 1.05, MPKI: 3.0, RowHitRate: 0.65, MLP: 2.0, WriteFrac: 0.25, CPIJitter: 0.04, MPKIJitter: 0.12},
+			{Name: "gather", Samples: 6, BaseCPI: 1.15, MPKI: 22.0, RowHitRate: 0.60, MLP: 2.0, WriteFrac: 0.35, CPIJitter: 0.05, MPKIJitter: 0.12},
+			{Name: "su3-compute2", Samples: 10, BaseCPI: 1.00, MPKI: 4.5, RowHitRate: 0.65, MLP: 2.0, WriteFrac: 0.25, CPIJitter: 0.04, MPKIJitter: 0.12},
+		},
+	},
+
+	// ----- Supporting population (paper: 12 int + 9 fp total). -----
+	{
+		Name: "mcf", Class: "int", Seed: 0x3cf, Repeat: 6,
+		Phases: []Phase{
+			{Name: "simplex", Samples: 20, BaseCPI: 1.35, MPKI: 34.0, RowHitRate: 0.30, MLP: 1.3, WriteFrac: 0.20, CPIJitter: 0.03, MPKIJitter: 0.06},
+			{Name: "refresh-tree", Samples: 8, BaseCPI: 1.10, MPKI: 18.0, RowHitRate: 0.40, MLP: 1.5, WriteFrac: 0.25, CPIJitter: 0.03, MPKIJitter: 0.06},
+		},
+	},
+	{
+		Name: "hmmer", Class: "int", Seed: 0x4a33e4, Repeat: 1,
+		Phases: []Phase{
+			{Name: "viterbi", Samples: 180, BaseCPI: 0.72, MPKI: 0.4, RowHitRate: 0.80, MLP: 2.0, WriteFrac: 0.30, CPIJitter: 0.01, MPKIJitter: 0.05},
+		},
+	},
+	{
+		Name: "sjeng", Class: "int", Seed: 0x53e7, Repeat: 9,
+		Phases: []Phase{
+			{Name: "search", Samples: 14, BaseCPI: 1.02, MPKI: 1.2, RowHitRate: 0.55, MLP: 1.6, WriteFrac: 0.25, CPIJitter: 0.03, MPKIJitter: 0.10},
+			{Name: "hash-probe", Samples: 6, BaseCPI: 1.18, MPKI: 5.0, RowHitRate: 0.35, MLP: 1.4, WriteFrac: 0.30, CPIJitter: 0.04, MPKIJitter: 0.10},
+		},
+	},
+	{
+		Name: "omnetpp", Class: "int", Seed: 0x03e7, Repeat: 7,
+		Phases: []Phase{
+			{Name: "event-loop", Samples: 16, BaseCPI: 1.25, MPKI: 15.0, RowHitRate: 0.42, MLP: 1.5, WriteFrac: 0.35, CPIJitter: 0.03, MPKIJitter: 0.07},
+			{Name: "stats", Samples: 6, BaseCPI: 1.05, MPKI: 7.0, RowHitRate: 0.55, MLP: 1.7, WriteFrac: 0.30, CPIJitter: 0.03, MPKIJitter: 0.07},
+		},
+	},
+	{
+		Name: "astar", Class: "int", Seed: 0xa57a6, Repeat: 8,
+		Phases: []Phase{
+			{Name: "pathfind", Samples: 12, BaseCPI: 1.10, MPKI: 8.0, RowHitRate: 0.50, MLP: 1.6, WriteFrac: 0.30, CPIJitter: 0.04, MPKIJitter: 0.09},
+			{Name: "expand", Samples: 8, BaseCPI: 0.95, MPKI: 3.5, RowHitRate: 0.58, MLP: 1.8, WriteFrac: 0.25, CPIJitter: 0.03, MPKIJitter: 0.08},
+		},
+	},
+	{
+		Name: "h264ref", Class: "int", Seed: 0x264, Repeat: 10,
+		Phases: []Phase{
+			{Name: "me-search", Samples: 10, BaseCPI: 0.80, MPKI: 1.5, RowHitRate: 0.75, MLP: 2.2, WriteFrac: 0.30, CPIJitter: 0.02, MPKIJitter: 0.06},
+			{Name: "deblock", Samples: 5, BaseCPI: 0.92, MPKI: 6.0, RowHitRate: 0.80, MLP: 2.5, WriteFrac: 0.45, CPIJitter: 0.02, MPKIJitter: 0.06},
+		},
+	},
+	{
+		Name: "namd", Class: "fp", Seed: 0x9a3d, Repeat: 1,
+		Phases: []Phase{
+			{Name: "force-compute", Samples: 170, BaseCPI: 0.78, MPKI: 0.9, RowHitRate: 0.78, MLP: 2.4, WriteFrac: 0.25, CPIJitter: 0.012, MPKIJitter: 0.04},
+		},
+	},
+	{
+		Name: "povray", Class: "fp", Seed: 0x90f7a1, Repeat: 1,
+		Phases: []Phase{
+			{Name: "trace", Samples: 160, BaseCPI: 0.95, MPKI: 0.2, RowHitRate: 0.70, MLP: 1.8, WriteFrac: 0.20, CPIJitter: 0.025, MPKIJitter: 0.10},
+		},
+	},
+	{
+		Name: "soplex", Class: "fp", Seed: 0x50f1e8, Repeat: 6,
+		Phases: []Phase{
+			{Name: "factorize", Samples: 12, BaseCPI: 1.05, MPKI: 16.0, RowHitRate: 0.60, MLP: 2.2, WriteFrac: 0.30, CPIJitter: 0.03, MPKIJitter: 0.06},
+			{Name: "price", Samples: 10, BaseCPI: 0.90, MPKI: 6.0, RowHitRate: 0.68, MLP: 2.4, WriteFrac: 0.25, CPIJitter: 0.025, MPKIJitter: 0.06},
+		},
+	},
+	{
+		Name: "leslie3d", Class: "fp", Seed: 0x1e511e, Repeat: 5,
+		Phases: []Phase{
+			{Name: "fluxes", Samples: 18, BaseCPI: 0.85, MPKI: 20.0, RowHitRate: 0.86, MLP: 3.2, WriteFrac: 0.40, CPIJitter: 0.012, MPKIJitter: 0.03},
+			{Name: "update", Samples: 10, BaseCPI: 0.92, MPKI: 12.0, RowHitRate: 0.82, MLP: 2.8, WriteFrac: 0.45, CPIJitter: 0.015, MPKIJitter: 0.04},
+		},
+	},
+	{
+		Name: "gemsfdtd", Class: "fp", Seed: 0x93a5, Repeat: 4,
+		Phases: []Phase{
+			{Name: "stencil", Samples: 25, BaseCPI: 0.88, MPKI: 24.0, RowHitRate: 0.84, MLP: 3.0, WriteFrac: 0.45, CPIJitter: 0.015, MPKIJitter: 0.03},
+			{Name: "boundary", Samples: 10, BaseCPI: 1.00, MPKI: 9.0, RowHitRate: 0.70, MLP: 2.2, WriteFrac: 0.35, CPIJitter: 0.02, MPKIJitter: 0.05},
+		},
+	},
+	{
+		Name: "calculix", Class: "fp", Seed: 0xca1c, Repeat: 1,
+		Phases: []Phase{
+			{Name: "solve", Samples: 150, BaseCPI: 0.82, MPKI: 2.5, RowHitRate: 0.72, MLP: 2.3, WriteFrac: 0.30, CPIJitter: 0.02, MPKIJitter: 0.06},
+		},
+	},
+}
