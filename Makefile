@@ -1,0 +1,20 @@
+# Verification tiers. `make verify` is the tier-1 gate every change must
+# pass; `make race` adds vet plus the full suite under the race detector,
+# which exercises the parallel collection engine and the Lab's sharded
+# singleflight cache under real contention.
+
+GO ?= go
+
+.PHONY: verify race bench all
+
+all: verify
+
+verify:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) vet ./... && $(GO) test -race ./...
+
+# Collection-engine speedup record: serial vs parallel fine-space sweeps.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkCollect' -benchmem .

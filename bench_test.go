@@ -13,6 +13,7 @@ package mcdvfs
 // rendering work of each figure.
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -100,6 +101,38 @@ func BenchmarkGridCollection(b *testing.B) {
 		if _, err := CollectOn(sys, "gobmk", CoarseSpace()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCollect pits the serial reference against the parallel engine
+// on the 496-setting fine sweep — the collection that gates every figure —
+// at increasing pool sizes, so the bench record tracks the speedup. All
+// variants produce byte-identical grids (see
+// internal/trace/collect_parallel_test.go).
+func BenchmarkCollect(b *testing.B) {
+	sys, err := NewSystem(DefaultSystemConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"fine/serial", 1},
+		{"fine/workers=2", 2},
+		{"fine/workers=4", 4},
+		{"fine/workers=gomaxprocs", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			ctx := context.Background()
+			opts := CollectOptions{Workers: bc.workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := CollectOnContext(ctx, sys, "gobmk", FineSpace(), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -2,15 +2,21 @@
 //
 // Usage:
 //
-//	mcdvfs list            list available experiments
-//	mcdvfs run <id>...     run one or more experiments (e.g. fig8)
-//	mcdvfs all             run every experiment in paper order
+//	mcdvfs list                          list available experiments
+//	mcdvfs [flags] run <id>...           run one or more experiments (e.g. fig8)
+//	mcdvfs [flags] all                   run every experiment in paper order
+//
+// Flags:
+//
+//	-workers N      collection worker-pool size (0 = all cores)
+//	-gridcache DIR  persist collected grids to DIR and reuse them across runs
 //
 // Each experiment prints aligned text tables reproducing the corresponding
 // figure of the paper.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -18,13 +24,25 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	workers := flag.Int("workers", 0, "collection worker-pool size (0 = all cores)")
+	gridCache := flag.String("gridcache", "", "directory for the persistent grid cache (empty = disabled)")
+	flag.Usage = func() { usage() }
+	flag.Parse()
+
+	var opts []mcdvfs.LabOption
+	if *workers != 0 {
+		opts = append(opts, mcdvfs.WithWorkers(*workers))
+	}
+	if *gridCache != "" {
+		opts = append(opts, mcdvfs.WithGridCacheDir(*gridCache))
+	}
+	if err := run(flag.Args(), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "mcdvfs:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, labOpts []mcdvfs.LabOption) error {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing command")
@@ -62,7 +80,7 @@ func run(args []string) error {
 		if len(args) < 2 {
 			return fmt.Errorf("run: need at least one experiment id")
 		}
-		lab, err := mcdvfs.NewLab()
+		lab, err := mcdvfs.NewLab(labOpts...)
 		if err != nil {
 			return err
 		}
@@ -78,7 +96,7 @@ func run(args []string) error {
 		}
 		return nil
 	case "all":
-		lab, err := mcdvfs.NewLab()
+		lab, err := mcdvfs.NewLab(labOpts...)
 		if err != nil {
 			return err
 		}
@@ -101,8 +119,12 @@ func run(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  mcdvfs list          list available experiments
-  mcdvfs workloads     list the benchmark suite
-  mcdvfs run <id>...   run experiments by id (fig2..fig12, extensions)
-  mcdvfs all           run every experiment`)
+  mcdvfs list                  list available experiments
+  mcdvfs workloads             list the benchmark suite
+  mcdvfs [flags] run <id>...   run experiments by id (fig2..fig12, extensions)
+  mcdvfs [flags] all           run every experiment
+
+flags:
+  -workers N      collection worker-pool size (0 = all cores)
+  -gridcache DIR  persist collected grids to DIR and reuse across runs`)
 }

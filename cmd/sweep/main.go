@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	sweep -bench gobmk [-space coarse|fine] [-o grid.json]
+//	sweep -bench gobmk [-space coarse|fine] [-workers N] [-o grid.json]
 //	sweep -workload my-app.json            # user-defined workload file
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,17 +23,18 @@ func main() {
 	bench := flag.String("bench", "", "benchmark name (see -list)")
 	workloadFile := flag.String("workload", "", "JSON workload definition file (alternative to -bench)")
 	space := flag.String("space", "coarse", "setting space: coarse (70) or fine (496)")
+	workers := flag.Int("workers", 0, "collection worker-pool size (0 = all cores)")
 	out := flag.String("o", "", "output file (default stdout)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
-	if err := run(*bench, *workloadFile, *space, *out, *list); err != nil {
+	if err := run(*bench, *workloadFile, *space, *out, *workers, *list); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, workloadFile, spaceName, out string, list bool) error {
+func run(bench, workloadFile, spaceName, out string, workers int, list bool) error {
 	if list {
 		for _, name := range mcdvfs.Benchmarks() {
 			fmt.Println(name)
@@ -65,13 +67,13 @@ func run(bench, workloadFile, spaceName, out string, list bool) error {
 		if err != nil {
 			return err
 		}
-		grid, err = trace.Collect(sys, b, space)
+		grid, err = trace.CollectContext(context.Background(), sys, b, space, trace.CollectOptions{Workers: workers})
 		if err != nil {
 			return err
 		}
 	case bench != "":
 		var err error
-		grid, err = mcdvfs.Collect(bench, space)
+		grid, err = mcdvfs.CollectContext(context.Background(), bench, space, mcdvfs.CollectOptions{Workers: workers})
 		if err != nil {
 			return err
 		}

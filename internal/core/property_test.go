@@ -5,13 +5,17 @@ package core
 // calibrated platform.
 
 import (
+	"context"
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
 	"mcdvfs/internal/freq"
 	"mcdvfs/internal/rng"
+	"mcdvfs/internal/sim"
 	"mcdvfs/internal/trace"
+	"mcdvfs/internal/workload"
 )
 
 // randomGrid builds a random physical grid: positive times and energies
@@ -242,6 +246,71 @@ func TestPropertyBudgetMonotonicity(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestPropertyParallelCollectionAnalysisEquivalence(t *testing.T) {
+	// Every analysis artifact the paper's algorithms derive — optimal
+	// settings, clusters, stable regions — must be identical whether the
+	// grid was collected serially or by the parallel engine: parallelism
+	// is an implementation detail the analysis layer can never observe.
+	sys := sim.MustNew(sim.DefaultConfig())
+	space := freq.CoarseSpace()
+	for _, name := range []string{"gobmk", "lbm"} {
+		b := workload.MustByName(name)
+		serialGrid, err := trace.CollectContext(context.Background(), sys, b, space, trace.CollectOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		parGrid, err := trace.CollectContext(context.Background(), sys, b, space, trace.CollectOptions{Workers: 8})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		serial, err := NewAnalysis(serialGrid)
+		if err != nil {
+			t.Fatalf("%s serial analysis: %v", name, err)
+		}
+		par, err := NewAnalysis(parGrid)
+		if err != nil {
+			t.Fatalf("%s parallel analysis: %v", name, err)
+		}
+
+		const budget, th = 1.3, 0.05
+		for s := 0; s < serial.NumSamples(); s++ {
+			ks, err := serial.OptimalSetting(s, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kp, err := par.OptimalSetting(s, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ks != kp {
+				t.Fatalf("%s sample %d: optimal %v (serial) vs %v (parallel)", name, s, ks, kp)
+			}
+		}
+		cs, err := serial.Clusters(budget, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := par.Clusters(budget, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cs, cp) {
+			t.Errorf("%s: clusters differ between serial and parallel grids", name)
+		}
+		rs, err := serial.StableRegions(budget, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := par.StableRegions(budget, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rs, rp) {
+			t.Errorf("%s: stable regions differ between serial and parallel grids", name)
+		}
 	}
 }
 

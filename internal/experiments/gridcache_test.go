@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcdvfs/internal/freq"
+	"mcdvfs/internal/sim"
+)
+
+func TestGridKeyHashStability(t *testing.T) {
+	// Two independently constructed identical configurations must hash
+	// identically — in particular across the pointer-typed OPP table, which
+	// naive printf-based fingerprints would render as an address.
+	a := gridKeyHash(sim.DefaultConfig(), freq.CoarseSpace())
+	b := gridKeyHash(sim.DefaultConfig(), freq.CoarseSpace())
+	if a != b {
+		t.Errorf("identical configs hash %q vs %q", a, b)
+	}
+	if len(a) != 16 {
+		t.Errorf("hash length %d, want 16", len(a))
+	}
+}
+
+func TestGridKeyHashSeparation(t *testing.T) {
+	base := gridKeyHash(sim.DefaultConfig(), freq.CoarseSpace())
+
+	noiseless := sim.DefaultConfig()
+	noiseless.MeasurementNoise = 0
+	if gridKeyHash(noiseless, freq.CoarseSpace()) == base {
+		t.Error("noise change did not change the hash")
+	}
+
+	little := sim.DefaultConfig()
+	little.CPIFactor = 1.8
+	if gridKeyHash(little, freq.CoarseSpace()) == base {
+		t.Error("CPI-factor change did not change the hash")
+	}
+
+	if gridKeyHash(sim.DefaultConfig(), freq.FineSpace()) == base {
+		t.Error("space change did not change the hash")
+	}
+
+	weak := sim.DefaultConfig()
+	weak.CPUPower.PeakDynamicW *= 2
+	if gridKeyHash(weak, freq.CoarseSpace()) == base {
+		t.Error("power-model change did not change the hash")
+	}
+}
+
+func TestDiskCachePathSanitizesBenchmarkNames(t *testing.T) {
+	d := diskCache{dir: t.TempDir()}
+	p := d.path("../evil/bench name", "coarse", "abc123")
+	// Separators and spaces are replaced, so the file always lands
+	// directly inside the cache directory.
+	if filepath.Dir(p) != d.dir {
+		t.Errorf("cache path %q escapes directory %q", p, d.dir)
+	}
+	if strings.ContainsAny(filepath.Base(p), " /") {
+		t.Errorf("unsanitized cache filename %q", filepath.Base(p))
+	}
+}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -18,39 +19,71 @@ import (
 )
 
 // Lab owns the simulated platform and caches collected grids, since grid
-// collection is the expensive step shared by every experiment.
+// collection is the expensive step shared by every experiment. It is safe
+// for concurrent use: grids live in a sharded singleflight cache, so N
+// goroutines requesting the same benchmark trigger exactly one collection
+// and requests for different benchmarks proceed independently.
 type Lab struct {
 	sys    *sim.System
+	cfg    sim.Config
 	coarse *freq.Space
 	fine   *freq.Space
 
+	workers  int    // Collect worker-pool size; 0 means GOMAXPROCS
+	cacheDir string // persistent grid cache directory; "" disables
+
+	coarseGrids *gridCache
+	fineGrids   *gridCache
+
 	mu           sync.Mutex
-	grids        map[string]*trace.Grid
-	fineGrids    map[string]*trace.Grid
 	analyses     map[string]*core.Analysis
 	fineAnalyses map[string]*core.Analysis
+
+	// collect is the collection entry point; tests swap it to count
+	// flights or inject faults.
+	collect func(ctx context.Context, sys *sim.System, b workload.Benchmark, space *freq.Space, opts trace.CollectOptions) (*trace.Grid, error)
 }
 
+// Option configures a Lab at construction.
+type Option func(*Lab)
+
+// WithWorkers bounds the collection worker pool. Zero or negative selects
+// the default (GOMAXPROCS).
+func WithWorkers(n int) Option { return func(l *Lab) { l.workers = n } }
+
+// WithGridCacheDir enables the persistent grid cache: collected grids are
+// written to dir as JSON keyed by (benchmark, space, platform-config hash)
+// and reloaded instead of recollected by any later Lab with an identical
+// configuration. Store failures are non-fatal; the in-memory result is
+// used regardless.
+func WithGridCacheDir(dir string) Option { return func(l *Lab) { l.cacheDir = dir } }
+
 // NewLab builds a lab over the default calibrated platform.
-func NewLab() (*Lab, error) {
-	return NewLabWithConfig(sim.DefaultConfig())
+func NewLab(opts ...Option) (*Lab, error) {
+	return NewLabWithConfig(sim.DefaultConfig(), opts...)
 }
 
 // NewLabWithConfig builds a lab over a custom platform configuration.
-func NewLabWithConfig(cfg sim.Config) (*Lab, error) {
+func NewLabWithConfig(cfg sim.Config, opts ...Option) (*Lab, error) {
 	sys, err := sim.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Lab{
+	l := &Lab{
 		sys:          sys,
+		cfg:          cfg,
 		coarse:       freq.CoarseSpace(),
 		fine:         freq.FineSpace(),
-		grids:        make(map[string]*trace.Grid),
-		fineGrids:    make(map[string]*trace.Grid),
+		coarseGrids:  newGridCache(),
+		fineGrids:    newGridCache(),
 		analyses:     make(map[string]*core.Analysis),
 		fineAnalyses: make(map[string]*core.Analysis),
-	}, nil
+		collect:      trace.CollectContext,
+	}
+	for _, opt := range opts {
+		opt(l)
+	}
+	return l, nil
 }
 
 // System returns the lab's simulator.
@@ -64,73 +97,84 @@ func (l *Lab) FineSpace() *freq.Space { return l.fine }
 
 // Grid returns the coarse grid for a benchmark, collecting it on first use.
 func (l *Lab) Grid(bench string) (*trace.Grid, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if g, ok := l.grids[bench]; ok {
-		return g, nil
-	}
-	b, err := workload.ByName(bench)
-	if err != nil {
-		return nil, err
-	}
-	g, err := trace.Collect(l.sys, b, l.coarse)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: collecting %s: %w", bench, err)
-	}
-	l.grids[bench] = g
-	return g, nil
+	return l.GridContext(context.Background(), bench)
+}
+
+// GridContext is Grid with cancellation: a caller that joins an in-flight
+// collection and is cancelled returns promptly with ctx's error while the
+// collection itself completes for the remaining waiters; if the collecting
+// caller is cancelled, the flight is abandoned and no partial grid stays
+// cached.
+func (l *Lab) GridContext(ctx context.Context, bench string) (*trace.Grid, error) {
+	return l.gridFor(ctx, l.coarseGrids, bench, l.coarse, "coarse")
 }
 
 // FineGrid returns the fine-step grid for a benchmark.
 func (l *Lab) FineGrid(bench string) (*trace.Grid, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if g, ok := l.fineGrids[bench]; ok {
-		return g, nil
-	}
+	return l.FineGridContext(context.Background(), bench)
+}
+
+// FineGridContext is FineGrid with cancellation (see GridContext).
+func (l *Lab) FineGridContext(ctx context.Context, bench string) (*trace.Grid, error) {
+	return l.gridFor(ctx, l.fineGrids, bench, l.fine, "fine")
+}
+
+func (l *Lab) gridFor(ctx context.Context, cache *gridCache, bench string, space *freq.Space, spaceName string) (*trace.Grid, error) {
 	b, err := workload.ByName(bench)
 	if err != nil {
 		return nil, err
 	}
-	g, err := trace.Collect(l.sys, b, l.fine)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: collecting fine %s: %w", bench, err)
-	}
-	l.fineGrids[bench] = g
-	return g, nil
+	return cache.do(ctx, bench, func() (*trace.Grid, error) {
+		var path string
+		if l.cacheDir != "" {
+			disk := diskCache{dir: l.cacheDir}
+			path = disk.path(bench, spaceName, gridKeyHash(l.cfg, space))
+			if g := disk.load(path, bench, space); g != nil {
+				return g, nil
+			}
+		}
+		g, err := l.collect(ctx, l.sys, b, space, trace.CollectOptions{Workers: l.workers})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: collecting %s %s: %w", spaceName, bench, err)
+		}
+		if path != "" {
+			_ = diskCache{dir: l.cacheDir}.store(path, g) // best-effort
+		}
+		return g, nil
+	})
 }
 
 // Analysis returns the cached coarse-grid analysis for a benchmark.
 func (l *Lab) Analysis(bench string) (*core.Analysis, error) {
-	l.mu.Lock()
-	a, ok := l.analyses[bench]
-	l.mu.Unlock()
-	if ok {
-		return a, nil
-	}
-	g, err := l.Grid(bench)
-	if err != nil {
-		return nil, err
-	}
-	a, err = core.NewAnalysis(g)
-	if err != nil {
-		return nil, err
-	}
-	l.mu.Lock()
-	l.analyses[bench] = a
-	l.mu.Unlock()
-	return a, nil
+	return l.AnalysisContext(context.Background(), bench)
+}
+
+// AnalysisContext is Analysis with cancellation of the underlying
+// collection.
+func (l *Lab) AnalysisContext(ctx context.Context, bench string) (*core.Analysis, error) {
+	return l.analysisFor(ctx, l.analyses, bench, l.GridContext)
 }
 
 // FineAnalysis returns the cached fine-grid analysis for a benchmark.
 func (l *Lab) FineAnalysis(bench string) (*core.Analysis, error) {
+	return l.FineAnalysisContext(context.Background(), bench)
+}
+
+// FineAnalysisContext is FineAnalysis with cancellation of the underlying
+// collection.
+func (l *Lab) FineAnalysisContext(ctx context.Context, bench string) (*core.Analysis, error) {
+	return l.analysisFor(ctx, l.fineAnalyses, bench, l.FineGridContext)
+}
+
+func (l *Lab) analysisFor(ctx context.Context, m map[string]*core.Analysis, bench string,
+	grid func(context.Context, string) (*trace.Grid, error)) (*core.Analysis, error) {
 	l.mu.Lock()
-	a, ok := l.fineAnalyses[bench]
+	a, ok := m[bench]
 	l.mu.Unlock()
 	if ok {
 		return a, nil
 	}
-	g, err := l.FineGrid(bench)
+	g, err := grid(ctx, bench)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +183,13 @@ func (l *Lab) FineAnalysis(bench string) (*core.Analysis, error) {
 		return nil, err
 	}
 	l.mu.Lock()
-	l.fineAnalyses[bench] = a
+	// Keep the first stored analysis so concurrent builders agree on one
+	// pointer, matching the grid cache's exactly-once result identity.
+	if prev, ok := m[bench]; ok {
+		a = prev
+	} else {
+		m[bench] = a
+	}
 	l.mu.Unlock()
 	return a, nil
 }

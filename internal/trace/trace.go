@@ -10,6 +10,7 @@
 package trace
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -101,10 +102,47 @@ func (g *Grid) TotalEnergyJ(k freq.SettingID) float64 {
 	return sum
 }
 
+// CollectOptions tunes the collection engine. The zero value selects the
+// defaults, so callers can pass CollectOptions{} for the standard sweep.
+type CollectOptions struct {
+	// Workers bounds the worker pool fanning out per-setting columns.
+	// Zero (or negative) means GOMAXPROCS; the pool is additionally capped
+	// at the setting count, since a worker's unit of work is one column.
+	Workers int
+}
+
+// workers resolves the effective pool size for a space.
+func (o CollectOptions) workers(settings int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > settings {
+		w = settings
+	}
+	return w
+}
+
 // Collect sweeps the benchmark across every setting in the space,
 // simulating each sample at each setting. Settings are simulated in
-// parallel across the machine's cores.
+// parallel across the machine's cores; use CollectContext for
+// cancellation or an explicit worker count.
 func Collect(sys *sim.System, bench workload.Benchmark, space *freq.Space) (*Grid, error) {
+	return CollectContext(context.Background(), sys, bench, space, CollectOptions{})
+}
+
+// CollectContext is Collect with cancellation and tuning. It fans the
+// space's setting columns out over a bounded worker pool, each worker
+// writing into preallocated grid rows, so the result is byte-identical to
+// a serial (Workers: 1) sweep regardless of pool size: every cell is
+// computed by the same deterministic SimulateSample call and lands in its
+// preassigned slot.
+//
+// The first simulation error cancels the remaining work and is returned.
+// If ctx is cancelled mid-sweep, workers stop at the next sample boundary
+// and CollectContext returns ctx's error; no partially filled grid is ever
+// returned.
+func CollectContext(ctx context.Context, sys *sim.System, bench workload.Benchmark, space *freq.Space, opts CollectOptions) (*Grid, error) {
 	specs, err := bench.Realize()
 	if err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
@@ -119,30 +157,39 @@ func Collect(sys *sim.System, bench workload.Benchmark, space *freq.Space) (*Gri
 		g.Data[s] = make([]Measurement, space.Len())
 	}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > space.Len() {
-		workers = space.Len()
-	}
+	// Errgroup-style fan-out: the first failure records itself once and
+	// cancels the derived context, which every worker polls at each sample
+	// boundary so cancellation latency is one SimulateSample, not one
+	// column.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var (
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
 	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
 	// Buffered to the full setting count: if workers exit early on error,
 	// the feeder below must never block on a channel nobody drains.
 	ids := make(chan int, space.Len())
-	for w := 0; w < workers; w++ {
+	for w := 0; w < opts.workers(space.Len()); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for k := range ids {
 				st := g.Settings[k]
 				for s, spec := range specs {
+					if ctx.Err() != nil {
+						return
+					}
 					m, err := sys.SimulateSample(spec, st)
 					if err != nil {
-						errOnce.Do(func() {
-							firstErr = fmt.Errorf("trace: setting %v sample %d: %w", st, s, err)
-						})
+						fail(fmt.Errorf("trace: setting %v sample %d: %w", st, s, err))
 						return
 					}
 					g.Data[s][k] = Measurement{
@@ -163,6 +210,9 @@ func Collect(sys *sim.System, bench workload.Benchmark, space *freq.Space) (*Gri
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return g, nil
 }

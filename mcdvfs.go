@@ -26,6 +26,7 @@
 package mcdvfs
 
 import (
+	"context"
 	"io"
 
 	"mcdvfs/internal/core"
@@ -74,6 +75,10 @@ type (
 	SystemConfig = sim.Config
 	// Lab caches grids and runs experiments.
 	Lab = experiments.Lab
+	// LabOption configures a Lab at construction.
+	LabOption = experiments.Option
+	// CollectOptions tunes grid collection (worker-pool size).
+	CollectOptions = trace.CollectOptions
 	// Governor is an online frequency governor.
 	Governor = governor.Governor
 	// GovernorResult summarizes an online governor run.
@@ -124,24 +129,32 @@ func NewSystem(cfg SystemConfig) (*System, error) { return sim.New(cfg) }
 // Collect sweeps a benchmark across a setting space on the default
 // platform, producing its characterization grid.
 func Collect(benchmark string, space *Space) (*Grid, error) {
+	return CollectContext(context.Background(), benchmark, space, CollectOptions{})
+}
+
+// CollectContext is Collect with cancellation and an explicit worker-pool
+// size. The parallel sweep is byte-identical to a serial one for any
+// worker count.
+func CollectContext(ctx context.Context, benchmark string, space *Space, opts CollectOptions) (*Grid, error) {
 	sys, err := sim.New(sim.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
-	b, err := workload.ByName(benchmark)
-	if err != nil {
-		return nil, err
-	}
-	return trace.Collect(sys, b, space)
+	return CollectOnContext(ctx, sys, benchmark, space, opts)
 }
 
 // CollectOn is Collect against a specific platform.
 func CollectOn(sys *System, benchmark string, space *Space) (*Grid, error) {
+	return CollectOnContext(context.Background(), sys, benchmark, space, CollectOptions{})
+}
+
+// CollectOnContext is CollectContext against a specific platform.
+func CollectOnContext(ctx context.Context, sys *System, benchmark string, space *Space, opts CollectOptions) (*Grid, error) {
 	b, err := workload.ByName(benchmark)
 	if err != nil {
 		return nil, err
 	}
-	return trace.Collect(sys, b, space)
+	return trace.CollectContext(ctx, sys, b, space, opts)
 }
 
 // Analyze builds the inefficiency/speedup analysis for a grid.
@@ -172,8 +185,24 @@ func NewProfileGovernor(p *Profile, fallback Governor, tolerance float64) (Gover
 // (500 µs, 30 µJ per 70-setting tune).
 func DefaultOverhead() Overhead { return core.DefaultOverhead() }
 
-// NewLab builds an experiment lab on the default platform.
-func NewLab() (*Lab, error) { return experiments.NewLab() }
+// NewLab builds an experiment lab on the default platform. Options tune
+// the collection engine and caching; a zero-option lab matches the paper's
+// setup exactly.
+func NewLab(opts ...LabOption) (*Lab, error) { return experiments.NewLab(opts...) }
+
+// NewLabWithConfig builds an experiment lab on a custom platform.
+func NewLabWithConfig(cfg SystemConfig, opts ...LabOption) (*Lab, error) {
+	return experiments.NewLabWithConfig(cfg, opts...)
+}
+
+// WithWorkers bounds a Lab's collection worker pool; zero or negative
+// selects GOMAXPROCS.
+func WithWorkers(n int) LabOption { return experiments.WithWorkers(n) }
+
+// WithGridCacheDir persists collected grids to dir as JSON, keyed by
+// (benchmark, space, platform-config hash), so later labs with the same
+// configuration reload instead of recollecting.
+func WithGridCacheDir(dir string) LabOption { return experiments.WithGridCacheDir(dir) }
 
 // NewPerformanceGovernor pins the space's maximum setting.
 func NewPerformanceGovernor(space *Space) Governor { return governor.NewPerformance(space) }

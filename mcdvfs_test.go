@@ -2,6 +2,8 @@ package mcdvfs
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -95,6 +97,62 @@ func TestFacadeSystemConfig(t *testing.T) {
 	g, err := CollectOn(sys, "bzip2", CoarseSpace())
 	if err != nil {
 		t.Fatal(err)
+	}
+	if g.Benchmark != "bzip2" {
+		t.Errorf("grid benchmark %q", g.Benchmark)
+	}
+}
+
+func TestFacadeCollectContextWorkerEquivalence(t *testing.T) {
+	sys, err := NewSystem(DefaultSystemConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := CollectOnContext(context.Background(), sys, "milc", CoarseSpace(), CollectOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := CollectOnContext(context.Background(), sys, "milc", CoarseSpace(), CollectOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bs, bp bytes.Buffer
+	if err := serial.WriteJSON(&bs); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteJSON(&bp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bs.Bytes(), bp.Bytes()) {
+		t.Error("parallel façade collection differs from serial")
+	}
+}
+
+func TestFacadeCollectContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CollectContext(ctx, "gobmk", FineSpace(), CollectOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFacadeLabOptions(t *testing.T) {
+	dir := t.TempDir()
+	lab, err := NewLab(WithWorkers(2), WithGridCacheDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.GridContext(context.Background(), "bzip2"); err != nil {
+		t.Fatalf("GridContext: %v", err)
+	}
+	// A second lab over the same cache directory reloads the stored grid.
+	lab2, err := NewLab(WithGridCacheDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := lab2.Grid("bzip2")
+	if err != nil {
+		t.Fatalf("cached Grid: %v", err)
 	}
 	if g.Benchmark != "bzip2" {
 		t.Errorf("grid benchmark %q", g.Benchmark)
