@@ -1,16 +1,22 @@
 # Verification tiers. `make verify` is the tier-1 gate every change must
-# pass; `make race` adds vet plus the full suite under the race detector,
-# which exercises the parallel collection engine and the Lab's sharded
-# singleflight cache under real contention.
+# pass: build, the full test suite, and the domain-invariant lint tier.
+# `make race` adds vet plus the full suite under the race detector, which
+# exercises the parallel collection engine and the Lab's sharded
+# singleflight cache under real contention. `make lint` runs cmd/mcdvfsvet,
+# the stdlib-only analyzer suite enforcing determinism, unit safety, float
+# equality, context discipline, and lock hygiene (see DESIGN.md §7).
 
 GO ?= go
 
-.PHONY: verify race bench all
+.PHONY: verify race lint bench all
 
 all: verify
 
-verify:
+verify: lint
 	$(GO) build ./... && $(GO) test ./...
+
+lint:
+	$(GO) run ./cmd/mcdvfsvet ./...
 
 race:
 	$(GO) vet ./... && $(GO) test -race ./...

@@ -1,0 +1,100 @@
+// Command mcdvfsvet runs the repository's domain-invariant analyzer suite
+// (internal/analysis): determinism, unit safety, float equality, context
+// discipline, and lock hygiene. It is the `make lint` tier of `make verify`.
+//
+// Usage:
+//
+//	mcdvfsvet [flags] [patterns ...]
+//
+// Patterns default to ./... and follow the go tool's directory forms.
+// Exit status: 0 clean, 1 violations found, 2 the run itself failed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mcdvfs/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("mcdvfsvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	disable := fs.String("disable", "", "comma-separated check names to skip (see -list)")
+	list := fs.Bool("list", false, "list available checks and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mcdvfsvet [flags] [patterns ...]\n\nThe mcdvfs domain-invariant analyzer suite. Patterns default to ./...\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.Suite() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stdout, "%-12s %s\n", analysis.LintCheckName, "reject malformed or unknown //lint:allow directives")
+		return 0
+	}
+
+	disabled := make(map[string]bool)
+	for _, name := range strings.Split(*disable, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			disabled[name] = true
+		}
+	}
+	known := map[string]bool{analysis.LintCheckName: true}
+	for _, a := range analysis.Suite() {
+		known[a.Name] = true
+	}
+	for name := range disabled {
+		if !known[name] {
+			fmt.Fprintf(stderr, "mcdvfsvet: unknown check %q in -disable (try -list)\n", name)
+			return 2
+		}
+	}
+
+	diags, err := analysis.Run(analysis.Options{
+		Patterns: fs.Args(),
+		Disable:  disabled,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "mcdvfsvet: %v\n", err)
+		return 2
+	}
+	if cwd, err := os.Getwd(); err == nil {
+		analysis.RelTo(diags, cwd)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "mcdvfsvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(stderr, "mcdvfsvet: %d violation(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,102 @@
+package analysis
+
+// ctx: PR 1 established the CollectContext pattern — any exported entry
+// point that fans work out over goroutines, or that sweeps the frequency
+// grid (the expensive operation in this system: a fine sweep is 496
+// settings × every sample of a benchmark), must accept a context.Context
+// so callers can bound it. An exported function that spawns goroutines or
+// loops over []freq.Setting without taking a context is an API that cannot
+// be cancelled, and every future caller inherits that defect.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxAnalyzer builds the ctx check.
+func CtxAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "ctx",
+		Doc:  "exported functions that spawn goroutines or sweep grid settings must accept context.Context",
+		Applies: func(path string) bool {
+			return pathHasPrefix(path, "mcdvfs/internal")
+		},
+		Run: runCtx,
+	}
+}
+
+func pathHasPrefix(path, prefix string) bool {
+	return path == prefix || (len(path) > len(prefix) && path[:len(prefix)+1] == prefix+"/")
+}
+
+func runCtx(pass *Pass) {
+	for _, f := range pass.Pkg.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if hasCtxParam(pass, fd) {
+				continue
+			}
+			spawns, sweeps := bodyBehaviour(pass, fd.Body)
+			switch {
+			case spawns:
+				pass.Reportf(fd.Name.Pos(), "exported %s spawns goroutines but takes no context.Context; callers cannot cancel it (see trace.CollectContext)", fd.Name.Name)
+			case sweeps:
+				pass.Reportf(fd.Name.Pos(), "exported %s sweeps grid settings but takes no context.Context; a fine-space sweep is the system's longest operation (see trace.CollectContext)", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// hasCtxParam reports whether any parameter's type is context.Context.
+func hasCtxParam(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.Pkg.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if isNamedType(tv.Type, "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyBehaviour scans a function body for goroutine launches and for range
+// loops over []freq.Setting (the grid axis). Nested function literals
+// count: spawning from a closure is still spawning.
+func bodyBehaviour(pass *Pass, body *ast.BlockStmt) (spawns, sweeps bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			spawns = true
+		case *ast.RangeStmt:
+			tv, ok := pass.Pkg.Info.Types[n.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if sl, ok := tv.Type.Underlying().(*types.Slice); ok {
+				if isNamedType(sl.Elem(), "mcdvfs/internal/freq", "Setting") {
+					sweeps = true
+				}
+			}
+		}
+		return true
+	})
+	return spawns, sweeps
+}
+
+// isNamedType reports whether t is the named type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

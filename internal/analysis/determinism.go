@@ -1,0 +1,209 @@
+package analysis
+
+// determinism: the collection pipeline's contract is that a parallel sweep
+// is byte-identical to the serial reference, and every figure regenerated
+// from the same inputs is identical. That only holds if the simulation,
+// trace, DRAM, and core-analysis paths contain no hidden entropy:
+//
+//   - no time.Now — wall-clock reads make output depend on when it ran;
+//   - no global math/rand — the process-wide source is shared, racy under
+//     the worker pool, and seeded differently per run. internal/rng's
+//     explicitly-seeded SplitMix64 is the only sanctioned randomness;
+//   - no emitting output while ranging over a map — Go randomizes map
+//     iteration order per run, so printing or writing inside such a loop
+//     produces run-dependent bytes.
+//
+// The check also covers the _test.go files of internal/trace and
+// internal/experiments (AST-only): those suites assert race-ordering
+// properties of the parallel engine and the singleflight cache, and
+// wall-clock measurement there can mask the very reordering bugs the tests
+// exist to catch.
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// determinismPkgs are the import paths whose non-test code must be entropy
+// free.
+var determinismPkgs = map[string]bool{
+	"mcdvfs/internal/sim":   true,
+	"mcdvfs/internal/trace": true,
+	"mcdvfs/internal/dram":  true,
+	"mcdvfs/internal/core":  true,
+}
+
+// determinismTestPkgs additionally have their _test.go files screened.
+var determinismTestPkgs = map[string]bool{
+	"mcdvfs/internal/trace":       true,
+	"mcdvfs/internal/experiments": true,
+}
+
+// seededRandCtors are the math/rand(/v2) names that do not touch the global
+// source: constructing an explicitly seeded generator is deterministic.
+var seededRandCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, "Source": true, "Rand": true,
+}
+
+// emissionFuncs are fmt functions whose call inside a map-range loop makes
+// output depend on iteration order.
+var emissionFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Append": true, "Appendf": true, "Appendln": true,
+}
+
+// DeterminismAnalyzer builds the determinism check.
+func DeterminismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:         "determinism",
+		Doc:          "forbid time.Now, global math/rand, and map-ordered output in replay-critical packages",
+		Applies:      func(path string) bool { return determinismPkgs[path] },
+		AnalyzeTests: func(path string) bool { return determinismTestPkgs[path] },
+		Run:          runDeterminism,
+	}
+}
+
+func runDeterminism(pass *Pass) {
+	if pass.IncludeSrc {
+		for _, f := range pass.Pkg.Syntax {
+			determinismFile(pass, f)
+		}
+	}
+	if pass.IncludeTests {
+		for _, f := range pass.Pkg.TestSyntax {
+			determinismTestFile(pass, f)
+		}
+	}
+}
+
+// determinismFile screens one type-checked file.
+func determinismFile(pass *Pass, f *ast.File) {
+	info := pass.Pkg.Info
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			id, ok := n.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pkgNameOf(info, id)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if n.Sel.Name == "Now" {
+					pass.Reportf(n.Pos(), "time.Now makes replay-critical output depend on wall clock; thread explicit timestamps or durations instead")
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandCtors[n.Sel.Name] {
+					pass.Reportf(n.Pos(), "global math/rand source is shared, racy, and run-seeded; use internal/rng (explicitly seeded SplitMix64)")
+				}
+			}
+		case *ast.RangeStmt:
+			if n.X == nil {
+				return true
+			}
+			tv, ok := info.Types[n.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if !isMapType(tv.Type) {
+				return true
+			}
+			if call, what := findEmission(pass, n.Body); call != nil {
+				pass.Reportf(call.Pos(), "%s inside a map-range loop emits map-ordered output (Go randomizes iteration order); collect and sort keys first", what)
+			}
+		}
+		return true
+	})
+}
+
+// findEmission looks for the first order-sensitive emission inside a
+// map-range body: a call to one of fmt's print family, or a method call
+// whose name starts with Write or Print (buffers, writers, loggers).
+func findEmission(pass *Pass, body ast.Node) (*ast.CallExpr, string) {
+	var hit *ast.CallExpr
+	var what string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pkgNameOf(pass.Pkg.Info, id); ok {
+				if pn.Imported().Path() == "fmt" && emissionFuncs[sel.Sel.Name] {
+					hit, what = call, "fmt."+sel.Sel.Name
+				}
+				return true
+			}
+		}
+		// A method call: only Write*/Print* names count as emission.
+		name := sel.Sel.Name
+		if strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Print") {
+			hit, what = call, name
+		}
+		return true
+	})
+	return hit, what
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// determinismTestFile screens a _test.go file with imports resolved purely
+// syntactically (test files are not type-checked).
+func determinismTestFile(pass *Pass, f *ast.File) {
+	// Map each local import name to its path.
+	imports := make(map[string]string)
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		imports[name] = path
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch imports[id.Name] {
+		case "time":
+			// time.Since is time.Now in disguise; both are wall-clock
+			// measurements. Timeouts (After, Sleep, NewTimer) stay legal —
+			// a bounded wait is not a measurement.
+			if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+				pass.Reportf(sel.Pos(), "time.%s in a concurrency test measures wall clock and can mask race-ordering bugs; assert through channel timeouts (select + time.After) instead", sel.Sel.Name)
+			}
+		case "math/rand", "math/rand/v2":
+			if !seededRandCtors[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "global math/rand in tests makes failures irreproducible; use internal/rng with a fixed seed")
+			}
+		}
+		return true
+	})
+}

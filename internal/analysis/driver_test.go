@@ -1,0 +1,109 @@
+package analysis_test
+
+// Golden-file tests: each fixture package under testdata/src holds positive
+// hits, suppressed hits, and clean near-misses for one check; the golden
+// file pins the exact diagnostics (file:line:col, check, message) the suite
+// must produce. Regenerate with:
+//
+//	go test ./internal/analysis -run TestFixtureGolden -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcdvfs/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// fixtures lists every fixture package and the check it exercises.
+var fixtures = []string{"determfix", "unitfix", "floatfix", "ctxfix", "lockfix", "lintfix"}
+
+// runFixture executes the whole suite, scope-free, over one fixture.
+func runFixture(t *testing.T, name string, disable map[string]bool) string {
+	t.Helper()
+	diags, err := analysis.Run(analysis.Options{
+		Patterns: []string{"./testdata/src/" + name},
+		Disable:  disable,
+		ScopeAll: true,
+	})
+	if err != nil {
+		t.Fatalf("Run(%s): %v", name, err)
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis.RelTo(diags, wd)
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestFixtureGolden(t *testing.T) {
+	for _, name := range fixtures {
+		t.Run(name, func(t *testing.T) {
+			got := runFixture(t, name, nil)
+			golden := filepath.Join("testdata", "golden", name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics differ from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestFixturesHaveHitsAndSuppressions guards the fixtures themselves: every
+// golden file must show at least one positive hit, and every fixture with a
+// Waived case must prove the waiver actually suppressed (the waived line
+// never appears).
+func TestFixturesHaveHitsAndSuppressions(t *testing.T) {
+	for _, name := range fixtures {
+		got := runFixture(t, name, nil)
+		if got == "" {
+			t.Errorf("%s: fixture produced no diagnostics; positive cases are broken", name)
+		}
+		if strings.Contains(got, "Waived") {
+			t.Errorf("%s: a //lint:allow waiver failed to suppress:\n%s", name, got)
+		}
+	}
+}
+
+func TestDisableSkipsCheck(t *testing.T) {
+	got := runFixture(t, "floatfix", map[string]bool{"floateq": true})
+	if strings.Contains(got, "[floateq]") {
+		t.Errorf("disabled check still reported:\n%s", got)
+	}
+}
+
+// TestRepoCleanAtHead is the smoke test the Makefile's lint tier promises:
+// the suite exits clean on the repository as committed. Every intentional
+// exactness or scoping decision must carry its waiver; a failure here is
+// either a real regression or a missing reason.
+func TestRepoCleanAtHead(t *testing.T) {
+	diags, err := analysis.Run(analysis.Options{
+		Dir:      filepath.Join("..", ".."),
+		Patterns: []string{"./..."},
+	})
+	if err != nil {
+		t.Fatalf("Run(./...): %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,102 @@
+package analysis
+
+// floateq: == and != on floating-point operands. Almost every quantity in
+// this repository is a float64 — times, energies, frequencies, CPIs — and
+// almost every float in it is the result of arithmetic, so exact equality
+// is either a latent bug (two mathematically equal formulas disagree in the
+// last ulp and a figure silently loses a point) or a deliberate
+// exact-representation test (freq.MHz's String method checks f ==
+// trunc(f)). The check flags every occurrence; deliberate ones carry a
+// //lint:allow floateq waiver stating why exactness is sound there.
+//
+// Comparing structs whose fields include floats (freq.Setting) is the same
+// operation in disguise and is flagged too: grid-identity checks that
+// really want bit-exact replay equality say so with a waiver.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqAnalyzer builds the floateq check.
+func FloatEqAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:    "floateq",
+		Doc:     "flag ==/!= on floating-point operands (and float-bearing structs) outside explicit waivers",
+		Applies: func(string) bool { return true },
+		Run:     runFloatEq,
+	}
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			t := operandType(pass, be.X)
+			if t == nil {
+				t = operandType(pass, be.Y)
+			}
+			if t == nil {
+				return true
+			}
+			// x != x is the portable NaN probe; exempt it.
+			if render(be.X) == render(be.Y) {
+				return true
+			}
+			switch kind := floatKind(t); kind {
+			case floatDirect:
+				pass.Reportf(be.OpPos, "float equality: %s %s %s; compare with an epsilon or waive with a reason",
+					render(be.X), be.Op, render(be.Y))
+			case floatInStruct:
+				pass.Reportf(be.OpPos, "struct equality over float fields: %s %s %s (type %s); exact float comparison in disguise",
+					render(be.X), be.Op, render(be.Y), t.String())
+			}
+			return true
+		})
+	}
+}
+
+// operandType returns the type of e if known and non-nil.
+func operandType(pass *Pass, e ast.Expr) types.Type {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+type floatClass int
+
+const (
+	notFloat floatClass = iota
+	floatDirect
+	floatInStruct
+)
+
+// floatKind classifies a type: a floating basic kind (possibly behind a
+// named type), a struct or array transitively holding one, or neither.
+func floatKind(t types.Type) floatClass {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Float32, types.Float64, types.Complex64, types.Complex128,
+			types.UntypedFloat, types.UntypedComplex:
+			return floatDirect
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if floatKind(u.Field(i).Type()) != notFloat {
+				return floatInStruct
+			}
+		}
+	case *types.Array:
+		if floatKind(u.Elem()) != notFloat {
+			return floatInStruct
+		}
+	}
+	return notFloat
+}

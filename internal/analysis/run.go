@@ -1,0 +1,115 @@
+package analysis
+
+// The driver: load → scope → run → suppress → sort. cmd/mcdvfsvet is a thin
+// flag-parsing shell over Run; tests call Run directly with ScopeAll to
+// point every check at fixture packages.
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+)
+
+// Options configures one driver run.
+type Options struct {
+	// Patterns are package patterns: directories, or "dir/..." recursive
+	// walks. Empty defaults to "./...".
+	Patterns []string
+	// Dir anchors module discovery and relative patterns; "" means the
+	// current directory.
+	Dir string
+	// Disable names checks to skip.
+	Disable map[string]bool
+	// ScopeAll ignores every check's package scoping and test opt-in,
+	// running everything everywhere. Fixture tests use it so a check can be
+	// pointed at testdata packages whose import paths its scope would never
+	// match.
+	ScopeAll bool
+}
+
+// Run executes the suite and returns the surviving diagnostics in stable
+// order. A non-nil error means the run itself failed (unparsable source,
+// type errors, bad pattern) — distinct from "found violations".
+func Run(opts Options) ([]Diagnostic, error) {
+	dir := opts.Dir
+	if dir == "" {
+		dir = "."
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	patterns := opts.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// Relative patterns resolve against opts.Dir, not the process cwd.
+	resolved := make([]string, len(patterns))
+	for i, p := range patterns {
+		if filepath.IsAbs(p) {
+			resolved[i] = p
+		} else {
+			resolved[i] = filepath.Join(dir, p)
+		}
+	}
+	dirs, err := loader.Expand(resolved)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("analysis: no packages match %v", opts.Patterns)
+	}
+
+	suite := Suite()
+	known := map[string]bool{LintCheckName: true}
+	for _, a := range suite {
+		known[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	for _, d := range dirs {
+		pkg, err := loader.LoadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		allFiles := append(append([]*ast.File(nil), pkg.Syntax...), pkg.TestSyntax...)
+		sup, bad := collectSuppressions(pkg.Fset, allFiles, known)
+		if !opts.Disable[LintCheckName] {
+			diags = append(diags, bad...)
+		}
+		for _, a := range suite {
+			if opts.Disable[a.Name] {
+				continue
+			}
+			src := opts.ScopeAll || a.Applies(pkg.Path)
+			tests := opts.ScopeAll || (a.AnalyzeTests != nil && a.AnalyzeTests(pkg.Path))
+			if !src && !tests {
+				continue
+			}
+			pass := &Pass{
+				Pkg:          pkg,
+				IncludeSrc:   src,
+				IncludeTests: tests,
+			}
+			var found []Diagnostic
+			pass.report = func(d Diagnostic) {
+				d.Check = a.Name
+				found = append(found, d)
+			}
+			a.Run(pass)
+			diags = append(diags, sup.filter(found)...)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// RelTo rewrites diagnostic file paths relative to base where possible, for
+// stable human-readable and golden output.
+func RelTo(diags []Diagnostic, base string) {
+	for i := range diags {
+		if rel, err := filepath.Rel(base, diags[i].File); err == nil && !filepath.IsAbs(rel) {
+			diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+}

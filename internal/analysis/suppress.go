@@ -1,0 +1,91 @@
+package analysis
+
+// Inline suppressions. A finding is intentional sometimes — freq.MHz's
+// String method really does want an exact trunc comparison — and the right
+// response is a visible, reasoned waiver at the site, not a weaker check.
+//
+//	//lint:allow <check> <reason>
+//
+// suppresses diagnostics of <check> on the directive's own line (trailing
+// comment) and on the line directly below (standalone comment). The reason
+// is mandatory: a waiver that cannot say why it exists is a bug report.
+// Malformed or unknown-check directives are themselves diagnosed under the
+// pseudo-check "lint", so typos cannot silently disable enforcement.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const allowPrefix = "//lint:allow"
+
+// LintCheckName is the pseudo-check that reports malformed directives.
+const LintCheckName = "lint"
+
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// suppressions indexes //lint:allow directives by (file, line, check).
+type suppressions map[allowKey]bool
+
+// collectSuppressions scans every comment of the given files. known maps
+// valid check names; violations of the directive grammar are appended as
+// "lint" diagnostics.
+func collectSuppressions(fset *token.FileSet, files []*ast.File, known map[string]bool) (suppressions, []Diagnostic) {
+	sup := make(suppressions)
+	var bad []Diagnostic
+	report := func(pos token.Position, msg string) {
+		bad = append(bad, Diagnostic{
+			Pos: pos, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Check: LintCheckName, Message: msg,
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowance — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(pos, "lint:allow directive missing a check name")
+					continue
+				}
+				check := fields[0]
+				if !known[check] {
+					report(pos, "lint:allow names unknown check \""+check+"\"")
+					continue
+				}
+				if len(fields) < 2 {
+					report(pos, "lint:allow "+check+" needs a reason — say why the finding is intentional")
+					continue
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					sup[allowKey{pos.Filename, line, check}] = true
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// filter drops diagnostics waived by a matching directive.
+func (s suppressions) filter(ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	for _, d := range ds {
+		if s[allowKey{d.File, d.Line, d.Check}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+// Package determfix is a determinism-check fixture: wall-clock reads,
+// global math/rand, and map-ordered emission, next to their sanctioned
+// replacements.
+package determfix
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock. want: determinism hit.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want determinism: time.Now
+}
+
+// Roll uses the process-global source. want: determinism hit.
+func Roll() int {
+	return rand.Intn(6) // want determinism: global math/rand
+}
+
+// SeededRoll constructs an explicitly seeded generator: clean.
+func SeededRoll() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(6)
+}
+
+// WaivedStamp carries a reasoned waiver: suppressed.
+func WaivedStamp() int64 {
+	//lint:allow determinism fixture demonstrates a reasoned waiver
+	return time.Now().UnixNano()
+}
+
+// DumpOrdered prints while ranging a map. want: determinism hit.
+func DumpOrdered(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want determinism: map-ordered output
+	}
+}
+
+// DumpSorted collects, sorts, then prints: clean.
+func DumpSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}

@@ -1,0 +1,39 @@
+// Package floatfix is a floateq-check fixture.
+package floatfix
+
+// Volts is a named float, as freq.Volts is.
+type Volts float64
+
+// Point carries float fields, as freq.Setting does.
+type Point struct{ X, Y float64 }
+
+// Equal compares floats exactly. want: floateq hit.
+func Equal(a, b float64) bool {
+	return a == b // want floateq: a == b
+}
+
+// NamedEqual compares named floats exactly. want: floateq hit.
+func NamedEqual(a, b Volts) bool {
+	return a != b // want floateq: named float !=
+}
+
+// StructEqual compares float-bearing structs. want: floateq hit.
+func StructEqual(a, b Point) bool {
+	return a == b // want floateq: struct with float fields
+}
+
+// IsNaN uses the portable self-comparison probe: clean.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// IntEqual compares integers: clean.
+func IntEqual(a, b int) bool {
+	return a == b
+}
+
+// WaivedEqual carries a reasoned waiver: suppressed.
+func WaivedEqual(a, b float64) bool {
+	//lint:allow floateq fixture demonstrates a reasoned waiver
+	return a == b
+}

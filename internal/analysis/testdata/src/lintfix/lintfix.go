@@ -1,0 +1,18 @@
+// Package lintfix is a fixture for the directive grammar itself: malformed
+// //lint:allow comments are diagnosed, never silently honored.
+package lintfix
+
+// A directive naming an unknown check. want: lint hit.
+//
+//lint:allow nosuchcheck this check does not exist
+
+// A directive with no reason. want: lint hit.
+//
+//lint:allow floateq
+
+// A directive with no check name at all. want: lint hit.
+//
+//lint:allow
+
+// Value exists so the package has a declaration.
+const Value = 1

@@ -1,0 +1,61 @@
+// Package lockfix is a lockcopy-check fixture.
+package lockfix
+
+import "sync"
+
+// Guarded embeds a mutex, as the Lab and the grid-cache shards do.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByValue receives the lock by value. want: lockcopy hit (parameter).
+func ByValue(g Guarded) int {
+	return g.n
+}
+
+// ByPointer shares the lock: clean.
+func ByPointer(g *Guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Copy duplicates an existing guarded value. want: lockcopy hit
+// (assignment).
+func Copy(g *Guarded) int {
+	local := *g
+	return local.n
+}
+
+// Fresh initializes from a composite literal: clean — there is no prior
+// lock state to fork.
+func Fresh() *Guarded {
+	g := Guarded{n: 1}
+	return &g
+}
+
+// RangeCopy iterates elements by value. want: lockcopy hit (range).
+func RangeCopy(gs []Guarded) int {
+	total := 0
+	for _, g := range gs {
+		total += g.n
+	}
+	return total
+}
+
+// RangeIndex iterates by index: clean.
+func RangeIndex(gs []Guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}
+
+// WaivedCopy carries a reasoned waiver: suppressed.
+func WaivedCopy(g *Guarded) int {
+	//lint:allow lockcopy fixture demonstrates a reasoned waiver
+	local := *g
+	return local.n
+}

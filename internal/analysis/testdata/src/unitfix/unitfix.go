@@ -1,0 +1,53 @@
+// Package unitfix is a units-check fixture: quantities whose unit lives in
+// the type name or the identifier suffix, mixed correctly and incorrectly.
+package unitfix
+
+// MHz and Hz are distinct frequency units, as in internal/freq.
+type MHz float64
+
+// Hz is the base frequency unit.
+type Hz float64
+
+// AddFreqs mixes the two frequency types additively after stripping both
+// to float64 — the names still disagree. want: units hit.
+func AddFreqs(clockMHz, busHz float64) float64 {
+	return clockMHz + busHz // want units: MHz + Hz
+}
+
+// EnergyRate assigns joules to a watts name. want: units hit.
+func EnergyRate(energyJ float64) float64 {
+	powerW := energyJ // want units: J assigned to W
+	return powerW
+}
+
+// Sample pairs a duration with an energy.
+type Sample struct {
+	TimeNS  float64
+	EnergyJ float64
+}
+
+// BadSample fills a nanosecond field from a joule value. want: units hit.
+func BadSample(energyJ float64) Sample {
+	return Sample{
+		TimeNS:  energyJ, // want units: field TimeNS set from J
+		EnergyJ: energyJ,
+	}
+}
+
+// ScaleLatency multiplies a latency by a dimensionless fraction and adds
+// two like-united terms: clean.
+func ScaleLatency(baseNS, extraNS, frac float64) float64 {
+	return baseNS*frac + extraNS
+}
+
+// Convert strips units explicitly before combining: clean — the cast is
+// the sanctioned escape hatch.
+func Convert(f MHz) float64 {
+	return float64(f) * 1e6
+}
+
+// WaivedMix carries a reasoned waiver: suppressed.
+func WaivedMix(aMHz, bHz float64) float64 {
+	//lint:allow units fixture demonstrates a reasoned waiver
+	return aMHz + bHz
+}

@@ -1,0 +1,313 @@
+package analysis
+
+// units: the power and memory models move quantities between five physical
+// domains — frequency (MHz vs Hz), time (ns vs s), energy (J), power (W),
+// voltage (V) — and the repository's convention is to carry the unit in the
+// type name (freq.MHz, freq.Volts) or the identifier suffix (TimeNS,
+// EnergyJ, PeakDynamicW, AccessPerNS). Mixing suffixes additively is how a
+// reproduction silently diverges from the paper: an Hz slipped into an MHz
+// formula is a factor-of-10⁶ error that still type-checks, still runs, and
+// still draws a plausible figure.
+//
+// The check performs a lightweight dimensional analysis over expressions:
+//
+//   - an expression's unit comes from its named type, its identifier or
+//     field suffix, or the called function's name suffix;
+//   - explicit conversions (float64(f)) strip the unit — a cast is a
+//     visible statement of intent;
+//   - multiplying or dividing two united quantities yields a derived,
+//     untracked unit; multiplying by a dimensionless factor preserves the
+//     unit; dividing same by same cancels to dimensionless;
+//   - addition, subtraction, comparison, and assignment between two
+//     *different* known units is reported.
+//
+// Dimensionless ratios (activity factors, hit rates, write fractions) carry
+// no unit on purpose, so scaling a latency by a fraction never trips the
+// check.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var unitPkgs = map[string]bool{
+	"mcdvfs/internal/freq":     true,
+	"mcdvfs/internal/cpupower": true,
+	"mcdvfs/internal/memctrl":  true,
+	"mcdvfs/internal/stats":    true,
+	"mcdvfs/internal/sim":      true,
+	"mcdvfs/internal/dram":     true,
+}
+
+// unitSuffix maps a camel-case name suffix to its canonical unit. Order
+// matters: longest suffixes first, so TimeNS resolves before NS could
+// shadow it and AccessPerNS is a rate, not a duration. Scale prefixes are
+// distinct units — mJ added to J is exactly the bug being hunted.
+type unitSuffix struct{ text, unit string }
+
+var unitSuffixes = []unitSuffix{
+	{"PerNS", "1/ns"}, {"PerSec", "1/s"}, {"PerCycle", "1/cycle"},
+	{"Nanos", "ns"}, {"Micros", "us"}, {"Millis", "ms"},
+	{"Seconds", "s"}, {"Secs", "s"}, {"Sec", "s"},
+	{"MHz", "MHz"}, {"GHz", "GHz"}, {"KHz", "kHz"}, {"Hz", "Hz"},
+	{"NS", "ns"}, {"Ns", "ns"}, {"ns", "ns"},
+	{"US", "us"}, {"Us", "us"},
+	{"MS", "ms"}, {"Ms", "ms"},
+	{"Joules", "J"}, {"Watts", "W"}, {"Volts", "V"},
+	{"MJ", "MJ"}, {"KJ", "kJ"},
+	{"mJ", "mJ"}, {"uJ", "uJ"}, {"nJ", "nJ"}, {"pJ", "pJ"},
+	{"mW", "mW"}, {"uW", "uW"}, {"KW", "kW"},
+	{"mV", "mV"}, {"uV", "uV"},
+	{"MiB", "MiB"}, {"KiB", "KiB"}, {"GiB", "GiB"}, {"Bytes", "B"},
+	{"J", "J"}, {"W", "W"}, {"V", "V"},
+}
+
+// suffixUnit resolves a name to a unit. A suffix only matches on a camel or
+// snake boundary (an uppercase suffix after a lowercase rune, or vice
+// versa), so "Trans" never reads as nanoseconds and "CSV" never as volts. A
+// whole-name case-insensitive match ("ns", "mhz") also counts.
+func suffixUnit(name string) string {
+	for _, su := range unitSuffixes {
+		if strings.EqualFold(name, su.text) {
+			return su.unit
+		}
+		if !strings.HasSuffix(name, su.text) || len(name) <= len(su.text) {
+			continue
+		}
+		prev := rune(name[len(name)-len(su.text)-1])
+		first := rune(su.text[0])
+		boundary := prev == '_' || (prev >= '0' && prev <= '9') ||
+			(isUpperASCII(first) && isLowerASCII(prev)) ||
+			(isLowerASCII(first) && isUpperASCII(prev))
+		if boundary {
+			return su.unit
+		}
+	}
+	return ""
+}
+
+func isUpperASCII(r rune) bool { return r >= 'A' && r <= 'Z' }
+func isLowerASCII(r rune) bool { return r >= 'a' && r <= 'z' }
+
+// typeUnit reads a unit from a named type (freq.MHz, freq.Volts).
+func typeUnit(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return suffixUnit(named.Obj().Name())
+}
+
+// UnitSafetyAnalyzer builds the units check.
+func UnitSafetyAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:    "units",
+		Doc:     "flag additive mixing or assignment across different declared unit suffixes (MHz vs Hz, J vs W, ...)",
+		Applies: func(path string) bool { return unitPkgs[path] },
+		Run:     runUnitSafety,
+	}
+}
+
+func runUnitSafety(pass *Pass) {
+	u := &unitChecker{pass: pass}
+	for _, f := range pass.Pkg.Syntax {
+		ast.Inspect(f, u.visit)
+	}
+}
+
+type unitChecker struct {
+	pass *Pass
+}
+
+func (u *unitChecker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.BinaryExpr:
+		switch n.Op {
+		case token.ADD, token.SUB,
+			token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			lu, ru := u.unitOf(n.X), u.unitOf(n.Y)
+			if lu != "" && ru != "" && lu != ru {
+				u.pass.Reportf(n.OpPos, "unit mismatch: %s (%s) %s %s (%s); convert explicitly before combining",
+					render(n.X), lu, n.Op, render(n.Y), ru)
+			}
+		}
+	case *ast.AssignStmt:
+		if n.Tok == token.MUL_ASSIGN || n.Tok == token.QUO_ASSIGN {
+			break // scaling in place forms a derived unit; not additive
+		}
+		if len(n.Lhs) != len(n.Rhs) {
+			break
+		}
+		for i, lhs := range n.Lhs {
+			lu, ru := u.unitOf(lhs), u.unitOf(n.Rhs[i])
+			if lu != "" && ru != "" && lu != ru {
+				u.pass.Reportf(n.Rhs[i].Pos(), "unit mismatch: assigning %s (%s) to %s (%s)",
+					render(n.Rhs[i]), ru, render(lhs), lu)
+			}
+		}
+	case *ast.CompositeLit:
+		tv, ok := u.pass.Pkg.Info.Types[n]
+		if !ok || tv.Type == nil {
+			break
+		}
+		if _, isStruct := tv.Type.Underlying().(*types.Struct); !isStruct {
+			break
+		}
+		for _, elt := range n.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lu := u.fieldUnit(key)
+			ru := u.unitOf(kv.Value)
+			if lu != "" && ru != "" && lu != ru {
+				u.pass.Reportf(kv.Value.Pos(), "unit mismatch: field %s (%s) set from %s (%s)",
+					key.Name, lu, render(kv.Value), ru)
+			}
+		}
+	}
+	return true
+}
+
+// fieldUnit resolves the unit of a struct field from its type, then its
+// name.
+func (u *unitChecker) fieldUnit(key *ast.Ident) string {
+	if obj, ok := u.pass.Pkg.Info.Uses[key]; ok {
+		if unit := typeUnit(obj.Type()); unit != "" {
+			return unit
+		}
+	}
+	return suffixUnit(key.Name)
+}
+
+// unitOf infers the unit of an expression, or "" when dimensionless or
+// unknown.
+func (u *unitChecker) unitOf(e ast.Expr) string {
+	info := u.pass.Pkg.Info
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return u.unitOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return u.unitOf(e.X)
+		}
+		return ""
+	case *ast.Ident:
+		if tv, ok := info.Types[e]; ok && tv.Type != nil {
+			if unit := typeUnit(tv.Type); unit != "" {
+				return unit
+			}
+		}
+		return suffixUnit(e.Name)
+	case *ast.SelectorExpr:
+		if tv, ok := info.Types[e]; ok && tv.Type != nil {
+			if unit := typeUnit(tv.Type); unit != "" {
+				return unit
+			}
+		}
+		return suffixUnit(e.Sel.Name)
+	case *ast.IndexExpr:
+		// times[i] carries timesNS's unit; element types carry their own.
+		if tv, ok := info.Types[e]; ok && tv.Type != nil {
+			if unit := typeUnit(tv.Type); unit != "" {
+				return unit
+			}
+		}
+		return u.unitOf(e.X)
+	case *ast.CallExpr:
+		return u.callUnit(e)
+	case *ast.BinaryExpr:
+		lu, ru := u.unitOf(e.X), u.unitOf(e.Y)
+		switch e.Op {
+		case token.ADD, token.SUB:
+			if lu != "" {
+				return lu
+			}
+			return ru
+		case token.MUL:
+			// A dimensionless factor preserves the unit; two united factors
+			// form a derived unit this checker does not track.
+			if lu != "" && ru != "" {
+				return ""
+			}
+			if lu != "" {
+				return lu
+			}
+			return ru
+		case token.QUO:
+			// unit/dimensionless keeps the unit; everything else derives.
+			if lu != "" && ru == "" {
+				return lu
+			}
+			return ""
+		}
+		return ""
+	case *ast.BasicLit:
+		return ""
+	}
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return typeUnit(tv.Type)
+	}
+	return ""
+}
+
+// callUnit infers the unit of a call: conversions take the target type's
+// unit (and a unitless target strips the unit — the cast is the explicit
+// escape hatch), function calls take the result type's unit or the
+// function's name suffix (dev.RowHitNS(f) is nanoseconds by name).
+func (u *unitChecker) callUnit(call *ast.CallExpr) string {
+	info := u.pass.Pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return typeUnit(tv.Type)
+	}
+	if tv, ok := info.Types[call]; ok && tv.Type != nil {
+		if unit := typeUnit(tv.Type); unit != "" {
+			return unit
+		}
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return suffixUnit(fn.Name)
+	case *ast.SelectorExpr:
+		// Skip package-qualified stdlib calls (math.Floor has no "r" unit);
+		// only method names carry repository unit conventions.
+		if id, ok := fn.X.(*ast.Ident); ok {
+			if _, isPkg := pkgNameOf(info, id); isPkg {
+				return ""
+			}
+		}
+		return suffixUnit(fn.Sel.Name)
+	}
+	return ""
+}
+
+// render prints a compact source form of e for diagnostics.
+func render(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return render(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return render(e.X) + "[...]"
+	case *ast.ParenExpr:
+		return "(" + render(e.X) + ")"
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.UnaryExpr:
+		return e.Op.String() + render(e.X)
+	case *ast.StarExpr:
+		return "*" + render(e.X)
+	case *ast.BinaryExpr:
+		return render(e.X) + " " + e.Op.String() + " " + render(e.Y)
+	}
+	return "expression"
+}

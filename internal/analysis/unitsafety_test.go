@@ -1,0 +1,61 @@
+package analysis
+
+import "testing"
+
+// TestSuffixUnit pins the camel-boundary rule: unit suffixes only match on
+// a case flip, digit, or underscore boundary, so ordinary words never read
+// as units.
+func TestSuffixUnit(t *testing.T) {
+	cases := []struct {
+		name, unit string
+	}{
+		// Real repository identifiers.
+		{"TimeNS", "ns"},
+		{"durationNS", "ns"},
+		{"TWRns", "ns"},
+		{"AccessPerNS", "1/ns"}, // a rate, not a duration
+		{"EnergyJ", "J"},
+		{"CPUEnergyJ", "J"},
+		{"PeakDynamicW", "W"},
+		{"BackgroundW", "W"},
+		{"maxMHz", "MHz"},
+		{"clock_hz", ""}, // lowercase suffix after lowercase: no boundary
+		{"SlewUVPerUS", "us"},
+		// Whole-name matches.
+		{"ns", "ns"},
+		{"MHz", "MHz"},
+		{"Volts", "V"},
+		// Words that must never read as units.
+		{"Trans", ""},
+		{"Params", ""},
+		{"columns", ""},
+		{"CSV", ""},
+		{"Div", ""},
+		{"RMS", ""},
+		{"Exec", ""},
+		{"status", ""},
+	}
+	for _, c := range cases {
+		if got := suffixUnit(c.name); got != c.unit {
+			t.Errorf("suffixUnit(%q) = %q, want %q", c.name, got, c.unit)
+		}
+	}
+}
+
+// TestSuiteNamesStable pins the check names: they are the -disable and
+// //lint:allow vocabulary, so renaming one silently orphans every waiver.
+func TestSuiteNamesStable(t *testing.T) {
+	want := []string{"determinism", "units", "floateq", "ctx", "lockcopy"}
+	suite := Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d checks, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("check %d named %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Applies == nil || a.Run == nil {
+			t.Errorf("check %q is missing Doc, Applies, or Run", a.Name)
+		}
+	}
+}

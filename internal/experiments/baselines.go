@@ -31,7 +31,7 @@ type BaselinesResult struct {
 // Baselines runs the comparison. The rate limiter's per-interval allowance
 // is set to the budget governor's average interval energy — the most
 // favorable calibration it could hope for — and still loses.
-func (l *Lab) Baselines(bench string, budget float64) (*BaselinesResult, error) {
+func (l *Lab) Baselines(bench string, budget float64) (*BaselinesResult, error) { //lint:allow ctx in-memory loop over an already-collected grid; collection is ctx-bound via Lab.GridContext
 	b, err := workload.ByName(bench)
 	if err != nil {
 		return nil, err

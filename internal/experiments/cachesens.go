@@ -55,7 +55,7 @@ func cacheSensPhases() []workload.LocalityPhase {
 }
 
 // CacheSensitivity runs the study across L2 sizes.
-func (l *Lab) CacheSensitivity(budget float64, l2Sizes []int) (*CacheSensResult, error) {
+func (l *Lab) CacheSensitivity(budget float64, l2Sizes []int) (*CacheSensResult, error) { //lint:allow ctx in-memory loop over an already-collected grid; collection is ctx-bound via Lab.GridContext
 	res := &CacheSensResult{Benchmark: "soplex-like", Budget: budget}
 	for _, size := range l2Sizes {
 		h := cache.Default().WithL2Size(size)

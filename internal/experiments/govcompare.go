@@ -34,7 +34,7 @@ type GovCompareResult struct {
 }
 
 // GovCompare runs the governor suite on one benchmark.
-func (l *Lab) GovCompare(bench string, budget, threshold float64) (*GovCompareResult, error) {
+func (l *Lab) GovCompare(bench string, budget, threshold float64) (*GovCompareResult, error) { //lint:allow ctx in-memory loop over an already-collected grid; collection is ctx-bound via Lab.GridContext
 	b, err := workload.ByName(bench)
 	if err != nil {
 		return nil, err

@@ -202,7 +202,7 @@ func (d diskCache) load(path, bench string, space *freq.Space) *trace.Grid {
 		return nil
 	}
 	for k, st := range space.Settings() {
-		if g.Settings[k] != st {
+		if g.Settings[k] != st { //lint:allow floateq a stored grid is valid only under a bit-exact setting match
 			return nil
 		}
 	}

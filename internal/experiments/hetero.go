@@ -44,7 +44,7 @@ type HeteroResult struct {
 const littleCPIFactor = 1.6
 
 // Hetero runs the comparison.
-func (l *Lab) Hetero(benches []string, budgets []float64) (*HeteroResult, error) {
+func (l *Lab) Hetero(benches []string, budgets []float64) (*HeteroResult, error) { //lint:allow ctx in-memory loop over an already-collected grid; collection is ctx-bound via Lab.GridContext
 	littleCfg := sim.DefaultConfig()
 	littleCfg.CPUPower = cpupower.LittleParams()
 	littleCfg.CPIFactor = littleCPIFactor
@@ -124,7 +124,7 @@ func (l *Lab) Hetero(benches []string, budgets []float64) (*HeteroResult, error)
 // Cell returns the entry for (benchmark, budget).
 func (r *HeteroResult) Cell(bench string, budget float64) (HeteroCell, error) {
 	for _, c := range r.Cells {
-		if c.Benchmark == bench && c.Budget == budget {
+		if c.Benchmark == bench && c.Budget == budget { //lint:allow floateq cells are keyed by the exact budget they were built with
 			return c, nil
 		}
 	}

@@ -183,17 +183,16 @@ func TestLabOwnerCancellationLeavesNoPartialGrid(t *testing.T) {
 	}()
 	time.Sleep(3 * time.Millisecond)
 	cancel()
-	cancelled := time.Now()
+	// Bound cancellation latency with a channel timeout rather than a
+	// time.Now/Since measurement: the determinism check bans wall-clock
+	// reads in this suite so timing jitter cannot mask ordering bugs.
 	select {
 	case err := <-done:
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("owner err = %v, want context.Canceled", err)
 		}
-		if lat := time.Since(cancelled); lat > 2*time.Second {
-			t.Errorf("cancellation latency %v, want far below one full sweep", lat)
-		}
-	case <-time.After(10 * time.Second):
-		t.Fatal("cancelled owner did not return")
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled owner did not return within 2s, want far below one full sweep")
 	}
 
 	// No partial grid may linger: the next request collects from scratch

@@ -32,7 +32,7 @@ type ModelCmpResult struct {
 }
 
 // ModelCompare runs the comparison on the given benchmarks.
-func (l *Lab) ModelCompare(benches []string, budget, threshold float64) (*ModelCmpResult, error) {
+func (l *Lab) ModelCompare(benches []string, budget, threshold float64) (*ModelCmpResult, error) { //lint:allow ctx in-memory loop over an already-collected grid; collection is ctx-bound via Lab.GridContext
 	res := &ModelCmpResult{Budget: budget, Threshold: threshold}
 	for _, bench := range benches {
 		b, err := workload.ByName(bench)

@@ -23,6 +23,11 @@ func (f MHz) GHz() float64 { return float64(f) / 1e3 }
 // Hz returns the frequency in hertz.
 func (f MHz) Hz() float64 { return float64(f) * 1e6 }
 
+// CyclesPerNS returns the clock rate as cycles per nanosecond. The value
+// equals GHz numerically, but cycle-counting code should say what it means:
+// the units check treats frequencies and rates as different dimensions.
+func (f MHz) CyclesPerNS() float64 { return float64(f) * 1e-3 }
+
 // PeriodNS returns the clock period in nanoseconds. It panics for
 // non-positive frequencies, which are always a programming error.
 func (f MHz) PeriodNS() float64 {
@@ -35,7 +40,7 @@ func (f MHz) PeriodNS() float64 {
 // String renders the frequency as an integer MHz count when exact,
 // otherwise with one decimal.
 func (f MHz) String() string {
-	if f == MHz(math.Trunc(float64(f))) {
+	if f == MHz(math.Trunc(float64(f))) { //lint:allow floateq exact integrality probe for display formatting
 		return fmt.Sprintf("%dMHz", int64(f))
 	}
 	return fmt.Sprintf("%.1fMHz", float64(f))

@@ -141,7 +141,7 @@ func (b *Budget) Decide(prev *Observation, prevProfile *workload.SampleSpec) (De
 		return Decision{}, err
 	}
 	if b.cfg.UseStability {
-		if dec.Setting == b.current {
+		if dec.Setting == b.current { //lint:allow floateq setting identity over exact ladder values
 			b.stability.ObserveStable()
 			b.skipBudget = b.stability.PredictRemaining()
 		} else {
@@ -157,11 +157,11 @@ func (b *Budget) Decide(prev *Observation, prevProfile *workload.SampleSpec) (De
 // drifted reports whether the profile moved beyond the drift tolerance
 // since the current setting was chosen.
 func (b *Budget) drifted(p workload.SampleSpec) bool {
-	if b.cfg.DriftTolerance == 0 {
+	if b.cfg.DriftTolerance == 0 { //lint:allow floateq zero is the exact disabled sentinel
 		return false
 	}
 	rel := func(a, c float64) float64 {
-		if c == 0 {
+		if c == 0 { //lint:allow floateq exact zero guard before division
 			return math.Abs(a)
 		}
 		return math.Abs(a-c) / c
@@ -317,7 +317,7 @@ func (b *Budget) pickWithEmin(cands []candidate, emin float64, searched int) (De
 				opt = c
 			}
 		}
-		if b.haveSet && c.st == b.current && c.timeNS <= bestTime*(1+b.cfg.Threshold) {
+		if b.haveSet && c.st == b.current && c.timeNS <= bestTime*(1+b.cfg.Threshold) { //lint:allow floateq setting identity over exact ladder values
 			currentOK = c
 		}
 	}
@@ -329,7 +329,7 @@ func (b *Budget) pickWithEmin(cands []candidate, emin float64, searched int) (De
 
 // preferHigher mirrors the core package's tie-break rule.
 func preferHigher(a, b freq.Setting) bool {
-	if a.CPU != b.CPU {
+	if a.CPU != b.CPU { //lint:allow floateq ladder frequencies are exact discrete values
 		return a.CPU > b.CPU
 	}
 	return a.Mem > b.Mem

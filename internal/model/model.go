@@ -102,7 +102,7 @@ func New(cfg Config) (*CrossComponent, error) {
 		return nil, err
 	}
 	forget := cfg.Forget
-	if forget == 0 {
+	if forget == 0 { //lint:allow floateq zero is the exact unset sentinel for the default
 		forget = 0.95
 	}
 	if forget <= 0.8 || forget > 1 {

@@ -65,7 +65,7 @@ func (s *Source) Norm() float64 {
 // LogNormFactor returns a multiplicative jitter factor with median 1 whose
 // log has standard deviation sigma. sigma = 0 returns exactly 1.
 func (s *Source) LogNormFactor(sigma float64) float64 {
-	if sigma == 0 {
+	if sigma == 0 { //lint:allow floateq zero sigma is an exact no-jitter sentinel
 		return 1
 	}
 	return math.Exp(sigma * s.Norm())
@@ -74,7 +74,7 @@ func (s *Source) LogNormFactor(sigma float64) float64 {
 // Exp returns an exponentially distributed value with the given mean.
 func (s *Source) Exp(mean float64) float64 {
 	u := s.Float64()
-	for u == 0 {
+	for u == 0 { //lint:allow floateq rejection-samples the exact zero the generator can emit
 		u = s.Float64()
 	}
 	return -mean * math.Log(u)

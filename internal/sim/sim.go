@@ -99,7 +99,7 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("sim: measurement noise %v outside [0, 0.2]", cfg.MeasurementNoise)
 	}
 	cpiFactor := cfg.CPIFactor
-	if cpiFactor == 0 {
+	if cpiFactor == 0 { //lint:allow floateq zero is the exact unset sentinel for the default
 		cpiFactor = 1
 	}
 	if cpiFactor < 0.1 || cpiFactor > 10 {
@@ -152,7 +152,7 @@ func (s *System) SimulateSample(spec workload.SampleSpec, st freq.Setting) (Samp
 	}
 	n := float64(spec.Instructions)
 	accesses := n * spec.MPKI / 1000
-	cpuCyclesPerNS := st.CPU.GHz()
+	cpuCyclesPerNS := st.CPU.CyclesPerNS()
 	computeNS := n * spec.BaseCPI * s.cpiFactor / cpuCyclesPerNS
 
 	// Fixed point on execution time. Start from the unloaded latency.

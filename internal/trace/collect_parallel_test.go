@@ -88,7 +88,11 @@ func TestCollectContextCancelMidSweep(t *testing.T) {
 	}()
 	time.Sleep(5 * time.Millisecond)
 	cancel()
-	cancelled := time.Now()
+	// Workers poll the context at every sample boundary, so the engine
+	// must stop far inside one collection quantum (a full fine sweep),
+	// not run the sweep to completion. The bound is a channel timeout, not
+	// a wall-clock measurement: the determinism check bans time.Now/Since
+	// here so timing jitter cannot mask race-ordering bugs.
 	select {
 	case r := <-done:
 		if !errors.Is(r.err, context.Canceled) {
@@ -97,14 +101,8 @@ func TestCollectContextCancelMidSweep(t *testing.T) {
 		if r.g != nil {
 			t.Error("cancelled collection returned a grid")
 		}
-		// Workers poll the context at every sample boundary, so the
-		// engine must stop far inside one collection quantum (a full
-		// fine sweep), not run the sweep to completion.
-		if lat := time.Since(cancelled); lat > 2*time.Second {
-			t.Errorf("cancellation latency %v, want far below one full sweep", lat)
-		}
-	case <-time.After(10 * time.Second):
-		t.Fatal("collection did not return within 10s of cancellation")
+	case <-time.After(2 * time.Second):
+		t.Fatal("collection did not return within 2s of cancellation, want far below one full sweep")
 	}
 }
 
