@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: verify race lint bench all
+.PHONY: verify race lint bench loadtest all
 
 all: verify
 
@@ -20,6 +20,12 @@ lint:
 
 race:
 	$(GO) vet ./... && $(GO) test -race ./...
+
+# Daemon smoke tier: the in-process load harness (8 zipfian clients, 5s)
+# against mcdvfsd's full stack — zero 5xx, coalescing absorbing grid
+# demand, cached /v1/optimal p99 under 10ms (see DESIGN.md §8).
+loadtest:
+	$(GO) test ./internal/serve -run TestLoadSmoke -count=1 -v -args -loadsmoke=5s
 
 # Collection-engine speedup record: serial vs parallel fine-space sweeps.
 bench:

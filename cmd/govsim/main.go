@@ -6,14 +6,19 @@
 //
 //	govsim -bench gobmk -gov budget -budget 1.3 -threshold 0.03 -search prev
 //	govsim -bench lbm -gov performance
+//
+// SIGINT/SIGTERM (or an elapsed -timeout) cancels the reference-grid
+// collection cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"mcdvfs"
+	"mcdvfs/internal/cliutil"
 )
 
 func main() {
@@ -25,15 +30,18 @@ func main() {
 	stability := flag.Bool("stability", false, "enable stable-region-length prediction")
 	cpu := flag.Float64("cpu", 1000, "CPU MHz (userspace governor)")
 	mem := flag.Float64("mem", 800, "memory MHz (userspace governor)")
+	timeout := cliutil.TimeoutFlag(nil)
 	flag.Parse()
 
-	if err := run(*bench, *govName, *budget, *threshold, *search, *stability, *cpu, *mem); err != nil {
+	ctx, stop := cliutil.Context(*timeout)
+	defer stop()
+	if err := run(ctx, *bench, *govName, *budget, *threshold, *search, *stability, *cpu, *mem); err != nil {
 		fmt.Fprintln(os.Stderr, "govsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, govName string, budget, threshold float64, search string, stability bool, cpu, mem float64) error {
+func run(ctx context.Context, bench, govName string, budget, threshold float64, search string, stability bool, cpu, mem float64) error {
 	space := mcdvfs.CoarseSpace()
 	var gov mcdvfs.Governor
 	switch govName {
@@ -80,7 +88,7 @@ func run(bench, govName string, budget, threshold float64, search string, stabil
 	}
 
 	// Whole-run Emin reference for the achieved-inefficiency report.
-	grid, err := mcdvfs.CollectOn(sys, bench, space)
+	grid, err := mcdvfs.CollectOnContext(ctx, sys, bench, space, mcdvfs.CollectOptions{})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,73 @@
+// Command mcdvfsd serves the DVFS decision procedure over HTTP/JSON: grid
+// characterization, budget-constrained optimal schedules, and the Emin and
+// stability predictors, with request coalescing, admission control, and
+// load shedding built in. See DESIGN.md §8 and README "Running the daemon".
+//
+// Usage:
+//
+//	mcdvfsd -addr :8080 -pool 2 -queue 8 -lru 16 -gridcache ~/.cache/mcdvfs
+//
+// SIGINT/SIGTERM drains gracefully: /healthz flips to 503, listeners
+// close, and in-flight requests get -drain to finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"mcdvfs/internal/cliutil"
+	"mcdvfs/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	poolSize := flag.Int("pool", 2, "concurrent grid collections")
+	queueDepth := flag.Int("queue", 8, "admissions waiting behind a full pool before shedding (-1 = none)")
+	lruSize := flag.Int("lru", 16, "benchmarks kept characterized (LRU)")
+	gridCache := flag.String("gridcache", "", "persistent grid cache directory (empty = memory only)")
+	collectWorkers := flag.Int("collect-workers", 0, "worker pool inside one collection (0 = all cores)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown grace period")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
+	timeout := cliutil.TimeoutFlag(nil) // here: per-request deadline, not whole-process
+	flag.Parse()
+
+	if err := run(*addr, *poolSize, *queueDepth, *lruSize, *gridCache,
+		*collectWorkers, *drain, *retryAfter, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "mcdvfsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, poolSize, queueDepth, lruSize int, gridCache string,
+	collectWorkers int, drain, retryAfter, timeout time.Duration) error {
+	srv, err := serve.New(serve.Config{
+		CollectWorkers: collectWorkers,
+		PoolSize:       poolSize,
+		QueueDepth:     queueDepth,
+		MaxBenchmarks:  lruSize,
+		GridCacheDir:   gridCache,
+		RequestTimeout: timeout,
+		RetryAfter:     retryAfter,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := cliutil.Context(0)
+	defer stop()
+
+	log.Printf("mcdvfsd listening on %s (pool %d, queue %d, lru %d)", addr, poolSize, queueDepth, lruSize)
+	err = srv.Run(ctx, addr, drain)
+	switch {
+	case err == nil, errors.Is(err, http.ErrServerClosed), errors.Is(err, context.Canceled):
+		log.Printf("mcdvfsd drained cleanly")
+		return nil
+	default:
+		return err
+	}
+}

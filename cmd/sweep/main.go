@@ -5,6 +5,8 @@
 //
 //	sweep -bench gobmk [-space coarse|fine] [-workers N] [-o grid.json]
 //	sweep -workload my-app.json            # user-defined workload file
+//
+// SIGINT/SIGTERM (or an elapsed -timeout) cancels the collection cleanly.
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"os"
 
 	"mcdvfs"
+	"mcdvfs/internal/cliutil"
 	"mcdvfs/internal/sim"
 	"mcdvfs/internal/trace"
 	"mcdvfs/internal/workload"
@@ -26,15 +29,18 @@ func main() {
 	workers := flag.Int("workers", 0, "collection worker-pool size (0 = all cores)")
 	out := flag.String("o", "", "output file (default stdout)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
+	timeout := cliutil.TimeoutFlag(nil)
 	flag.Parse()
 
-	if err := run(*bench, *workloadFile, *space, *out, *workers, *list); err != nil {
+	ctx, stop := cliutil.Context(*timeout)
+	defer stop()
+	if err := run(ctx, *bench, *workloadFile, *space, *out, *workers, *list); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, workloadFile, spaceName, out string, workers int, list bool) error {
+func run(ctx context.Context, bench, workloadFile, spaceName, out string, workers int, list bool) error {
 	if list {
 		for _, name := range mcdvfs.Benchmarks() {
 			fmt.Println(name)
@@ -67,13 +73,13 @@ func run(bench, workloadFile, spaceName, out string, workers int, list bool) err
 		if err != nil {
 			return err
 		}
-		grid, err = trace.CollectContext(context.Background(), sys, b, space, trace.CollectOptions{Workers: workers})
+		grid, err = trace.CollectContext(ctx, sys, b, space, trace.CollectOptions{Workers: workers})
 		if err != nil {
 			return err
 		}
 	case bench != "":
 		var err error
-		grid, err = mcdvfs.CollectContext(context.Background(), bench, space, mcdvfs.CollectOptions{Workers: workers})
+		grid, err = mcdvfs.CollectContext(ctx, bench, space, mcdvfs.CollectOptions{Workers: workers})
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,13 @@ package analysis
 // so callers can bound it. An exported function that spawns goroutines or
 // loops over []freq.Setting without taking a context is an API that cannot
 // be cancelled, and every future caller inherits that defect.
+//
+// PR 3 (mcdvfsd) adds the serving-side corollary: a function handling a
+// *net/http.Request must derive its work from r.Context(), never mint a
+// fresh root with context.Background() or context.TODO(). A handler that
+// roots its collection in Background keeps burning a pool slot after the
+// client hangs up — exactly the leak the daemon's admission control
+// exists to prevent.
 
 import (
 	"go/ast"
@@ -33,10 +40,13 @@ func runCtx(pass *Pass) {
 	for _, f := range pass.Pkg.Syntax {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+			if !ok || fd.Body == nil {
 				continue
 			}
-			if hasCtxParam(pass, fd) {
+			if hasRequestParam(pass, fd.Type) {
+				reportRootContexts(pass, fd.Name.Name, fd.Body)
+			}
+			if !fd.Name.IsExported() || hasCtxParam(pass, fd) {
 				continue
 			}
 			spawns, sweeps := bodyBehaviour(pass, fd.Body)
@@ -47,7 +57,71 @@ func runCtx(pass *Pass) {
 				pass.Reportf(fd.Name.Pos(), "exported %s sweeps grid settings but takes no context.Context; a fine-space sweep is the system's longest operation (see trace.CollectContext)", fd.Name.Name)
 			}
 		}
+		// HTTP handlers are often function literals (mux closures); hold
+		// them to the same rule.
+		ast.Inspect(f, func(n ast.Node) bool {
+			fl, ok := n.(*ast.FuncLit)
+			if !ok || !hasRequestParam(pass, fl.Type) {
+				return true
+			}
+			reportRootContexts(pass, "handler literal", fl.Body)
+			return true
+		})
 	}
+}
+
+// hasRequestParam reports whether the signature takes a *net/http.Request —
+// the shape that marks a function as an HTTP handler (or a helper a handler
+// delegates its request to).
+func hasRequestParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.Pkg.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		ptr, ok := tv.Type.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		if isNamedType(ptr.Elem(), "net/http", "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+// reportRootContexts flags context.Background() and context.TODO() calls in
+// a request-handling body: the request already carries the context to use.
+func reportRootContexts(pass *Pass, where string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		// A nested handler literal is visited (and reported) on its own.
+		if fl, ok := n.(*ast.FuncLit); ok && hasRequestParam(pass, fl.Type) {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pkgNameOf(pass.Pkg.Info, id)
+		if !ok || pn.Imported().Path() != "context" {
+			return true
+		}
+		if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+			pass.Reportf(call.Pos(), "%s handles a *http.Request but roots work in context.%s; thread r.Context() so a client disconnect cancels the collection it owns", where, sel.Sel.Name)
+		}
+		return true
+	})
 }
 
 // hasCtxParam reports whether any parameter's type is context.Context.

@@ -1,0 +1,57 @@
+package ctxfix
+
+// HTTP-handler cases for the ctx check: a function receiving a
+// *net/http.Request must thread r.Context() into the work it starts, not
+// mint a fresh root context.
+
+import (
+	"context"
+	"net/http"
+)
+
+// HandleLeaky roots its work in context.Background. want: ctx hit.
+func HandleLeaky(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background()
+	_ = ctx
+}
+
+// HandleTODO defers the decision with context.TODO. want: ctx hit.
+func HandleTODO(w http.ResponseWriter, r *http.Request) {
+	work(context.TODO())
+}
+
+// HandleThreaded derives from the request: clean.
+func HandleThreaded(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	work(ctx)
+}
+
+// helperLeaky is not itself a handler signature-wise, but it receives the
+// request, so the same rule applies. want: ctx hit (unexported is not
+// exempt).
+func helperLeaky(r *http.Request) {
+	work(context.Background())
+}
+
+// LiteralLeaky registers a closure handler that mints a root context.
+// want: ctx hit inside the literal.
+func LiteralLeaky(mux *http.ServeMux) {
+	mux.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) {
+		work(context.Background())
+	})
+}
+
+// NotAHandler has no request parameter; a root context is fine here (it IS
+// the root). clean.
+func NotAHandler() {
+	work(context.Background())
+}
+
+// WaivedHandler carries a reasoned waiver at the call site: suppressed.
+func WaivedHandler(w http.ResponseWriter, r *http.Request) {
+	//lint:allow ctx fixture demonstrates a reasoned handler waiver
+	work(context.Background())
+}
+
+func work(ctx context.Context) { _ = ctx }

@@ -1,0 +1,116 @@
+// Package lru provides a mutex-guarded, size-bounded least-recently-used
+// map. The serve layer uses it to bound how many benchmarks the daemon
+// keeps characterized at once (evicting back into the Lab via its Forget
+// hook) and to memoize rendered /v1/optimal responses; it is generic so
+// both uses share one audited eviction path.
+package lru
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Cache is a fixed-capacity LRU map, safe for concurrent use. Eviction
+// callbacks run outside the cache lock, so they may re-enter the cache.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; Value is *entry[K, V]
+	items   map[K]*list.Element
+	onEvict func(K, V)
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New builds a cache holding at most max entries. onEvict, if non-nil, is
+// called for each entry displaced by capacity (not for Remove), after the
+// cache lock is released.
+func New[K comparable, V any](max int, onEvict func(K, V)) (*Cache[K, V], error) {
+	if max < 1 {
+		return nil, fmt.Errorf("lru: capacity %d < 1", max)
+	}
+	return &Cache[K, V]{
+		max:     max,
+		order:   list.New(),
+		items:   make(map[K]*list.Element),
+		onEvict: onEvict,
+	}, nil
+}
+
+// Get returns the value for key and marks it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Add inserts or updates key, marking it most recently used, and evicts
+// the least recently used entries while the cache is over capacity. It
+// reports whether key was already present.
+func (c *Cache[K, V]) Add(key K, val V) bool {
+	var evicted []entry[K, V]
+	c.mu.Lock()
+	el, existed := c.items[key]
+	if existed {
+		c.order.MoveToFront(el)
+		el.Value.(*entry[K, V]).val = val
+	} else {
+		c.items[key] = c.order.PushFront(&entry[K, V]{key: key, val: val})
+		for c.order.Len() > c.max {
+			oldest := c.order.Back()
+			e := oldest.Value.(*entry[K, V])
+			c.order.Remove(oldest)
+			delete(c.items, e.key)
+			evicted = append(evicted, *e)
+		}
+	}
+	c.mu.Unlock()
+	if c.onEvict != nil {
+		for _, e := range evicted {
+			c.onEvict(e.key, e.val)
+		}
+	}
+	return existed
+}
+
+// Remove deletes key without invoking the eviction callback, reporting
+// whether it was present.
+func (c *Cache[K, V]) Remove(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.items, key)
+	return true
+}
+
+// Len returns the number of entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Keys returns the keys from most to least recently used — the eviction
+// order reversed — for tests and introspection endpoints.
+func (c *Cache[K, V]) Keys() []K {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]K, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*entry[K, V]).key)
+	}
+	return keys
+}

@@ -1,0 +1,146 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func mustNew[K comparable, V any](t *testing.T, max int, onEvict func(K, V)) *Cache[K, V] {
+	t.Helper()
+	c, err := New[K, V](max, onEvict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsNonPositiveCapacity(t *testing.T) {
+	for _, max := range []int{0, -1} {
+		if _, err := New[string, int](max, nil); err == nil {
+			t.Errorf("capacity %d accepted", max)
+		}
+	}
+}
+
+func TestEvictionOrderIsLeastRecentlyUsed(t *testing.T) {
+	var evicted []string
+	c := mustNew[string, int](t, 3, func(k string, _ int) { evicted = append(evicted, k) })
+
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Add("c", 3)
+	// Touch a: order (MRU->LRU) is now a, c, b.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Add("d", 4) // displaces b, the least recently used
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted %v, want [b]", evicted)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b still present after eviction")
+	}
+
+	// Updating an existing key is a touch, not an insert: no eviction, and
+	// c moves ahead of a.
+	c.Add("c", 30)
+	c.Add("e", 5) // displaces a (order before insert: c, d, a)
+	if len(evicted) != 2 || evicted[1] != "a" {
+		t.Fatalf("evicted %v, want [b a]", evicted)
+	}
+	if v, ok := c.Get("c"); !ok || v != 30 {
+		t.Errorf("c = %d,%v after update, want 30,true", v, ok)
+	}
+
+	got := c.Keys()
+	want := []string{"c", "e", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("Keys() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRemoveSkipsEvictionCallback(t *testing.T) {
+	evictions := 0
+	c := mustNew[string, int](t, 2, func(string, int) { evictions++ })
+	c.Add("a", 1)
+	if !c.Remove("a") {
+		t.Error("Remove(a) = false, want true")
+	}
+	if c.Remove("a") {
+		t.Error("second Remove(a) = true, want false")
+	}
+	if evictions != 0 {
+		t.Errorf("%d eviction callbacks from Remove, want 0", evictions)
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len() = %d, want 0", c.Len())
+	}
+}
+
+func TestEvictionCallbackMayReenter(t *testing.T) {
+	// The Lab-eviction use re-enters the serve layer, which may consult
+	// another cache; the callback must therefore run unlocked.
+	var c *Cache[string, int]
+	c = mustNew[string, int](t, 1, func(k string, _ int) {
+		_ = c.Len() // deadlocks if the callback held the lock
+	})
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if c.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", c.Len())
+	}
+}
+
+// TestConcurrentAccess hammers one cache from many goroutines; run under
+// -race (the Makefile race tier does) to certify the locking.
+func TestConcurrentAccess(t *testing.T) {
+	var mu sync.Mutex
+	evicted := 0
+	c := mustNew[string, int](t, 32, func(string, int) {
+		mu.Lock()
+		evicted++
+		mu.Unlock()
+	})
+
+	const goroutines = 16
+	const opsPer = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				key := fmt.Sprintf("k%d", (g*opsPer+i)%64)
+				switch i % 3 {
+				case 0:
+					c.Add(key, i)
+				case 1:
+					c.Get(key)
+				case 2:
+					if i%30 == 2 {
+						c.Remove(key)
+					} else {
+						c.Get(key)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if n := c.Len(); n > 32 {
+		t.Errorf("Len() = %d after churn, want <= capacity 32", n)
+	}
+	// Every key listed must still resolve: Keys and Get agree.
+	for _, k := range c.Keys() {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("key %q listed but not gettable", k)
+		}
+	}
+}

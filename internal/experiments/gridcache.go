@@ -69,31 +69,51 @@ func (c *gridCache) shard(key string) *gridShard {
 // A flight that fails (including owner cancellation) deletes its entry
 // before publishing the error: no partial or poisoned grid stays cached,
 // and the next request simply retries.
-func (c *gridCache) do(ctx context.Context, key string, collect func() (*trace.Grid, error)) (*trace.Grid, error) {
+//
+// The joined result reports whether the caller found an existing entry —
+// either a completed grid or an in-flight collection it waited on — as
+// opposed to owning the collect call itself. Cache observers use it to
+// count coalesced requests.
+func (c *gridCache) do(ctx context.Context, key string, collect func() (*trace.Grid, error)) (g *trace.Grid, joined bool, err error) {
 	sh := c.shard(key)
 	sh.mu.Lock()
 	if e, ok := sh.entries[key]; ok {
 		sh.mu.Unlock()
 		select {
 		case <-e.done:
-			return e.g, e.err
+			return e.g, true, e.err
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, true, ctx.Err()
 		}
 	}
 	e := &gridEntry{done: make(chan struct{})}
 	sh.entries[key] = e
 	sh.mu.Unlock()
 
-	g, err := collect()
+	g, err = collect()
 	if err != nil {
 		sh.mu.Lock()
+		// The entry may already be gone if forget ran mid-flight; delete is
+		// a no-op then.
 		delete(sh.entries, key)
 		sh.mu.Unlock()
 	}
 	e.g, e.err = g, err
 	close(e.done)
-	return g, err
+	return g, false, err
+}
+
+// forget drops key's entry. An in-flight collection is unaffected — its
+// waiters hold the entry pointer and still receive the result — but no new
+// request will find it, so the next lookup recollects. It reports whether
+// an entry was present.
+func (c *gridCache) forget(key string) bool {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.entries[key]
+	delete(sh.entries, key)
+	return ok
 }
 
 // gridKeyHash fingerprints everything a stored grid depends on: the full

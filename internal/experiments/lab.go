@@ -32,6 +32,10 @@ type Lab struct {
 	workers  int    // Collect worker-pool size; 0 means GOMAXPROCS
 	cacheDir string // persistent grid cache directory; "" disables
 
+	observer func(GridEvent)       // grid-cache outcome hook; nil disables
+	gate     CollectGate           // admission control around collections; nil admits all
+	progress func(done, total int) // per-column collection progress; nil disables
+
 	coarseGrids *gridCache
 	fineGrids   *gridCache
 
@@ -57,6 +61,53 @@ func WithWorkers(n int) Option { return func(l *Lab) { l.workers = n } }
 // configuration. Store failures are non-fatal; the in-memory result is
 // used regardless.
 func WithGridCacheDir(dir string) Option { return func(l *Lab) { l.cacheDir = dir } }
+
+// GridEventKind classifies how one grid request was satisfied.
+type GridEventKind int
+
+const (
+	// GridHit: the request joined an existing cache entry — a completed
+	// grid, or an in-flight collection it coalesced onto.
+	GridHit GridEventKind = iota
+	// GridDiskLoad: the grid was reloaded from the persistent cache.
+	GridDiskLoad
+	// GridCollect: a full collection ran.
+	GridCollect
+)
+
+// GridEvent describes one successfully satisfied grid request.
+type GridEvent struct {
+	Benchmark string
+	Space     string // "coarse" or "fine"
+	Kind      GridEventKind
+}
+
+// WithGridObserver registers fn to be called once per successful grid
+// request with how it was satisfied. fn runs on the requesting goroutine
+// (or the collecting one, for GridCollect/GridDiskLoad) and must be safe
+// for concurrent use and fast — it sits on the grid hot path. The serve
+// layer uses it to export cache and coalescing counters.
+func WithGridObserver(fn func(GridEvent)) Option { return func(l *Lab) { l.observer = fn } }
+
+// CollectGate admits one grid collection. Implementations return a release
+// func to call when the collection finishes, or an error (e.g. a
+// saturation sentinel) to fail the flight without collecting — the error
+// propagates to every request coalesced onto the flight. A nil gate admits
+// everything.
+type CollectGate func(ctx context.Context) (release func(), err error)
+
+// WithCollectGate bounds collections with an admission gate: the lab
+// acquires the gate after the persistent cache misses and before the sweep
+// starts, so cache hits and coalesced joins never consume a slot. The
+// serve layer supplies its bounded worker pool here.
+func WithCollectGate(g CollectGate) Option { return func(l *Lab) { l.gate = g } }
+
+// WithCollectProgress registers a per-column progress hook forwarded to
+// trace.CollectOptions.OnProgress for every collection this lab runs; fn
+// must be safe for concurrent use.
+func WithCollectProgress(fn func(done, total int)) Option {
+	return func(l *Lab) { l.progress = fn }
+}
 
 // NewLab builds a lab over the default calibrated platform.
 func NewLab(opts ...Option) (*Lab, error) {
@@ -124,24 +175,63 @@ func (l *Lab) gridFor(ctx context.Context, cache *gridCache, bench string, space
 	if err != nil {
 		return nil, err
 	}
-	return cache.do(ctx, bench, func() (*trace.Grid, error) {
+	emit := func(kind GridEventKind) {
+		if l.observer != nil {
+			l.observer(GridEvent{Benchmark: bench, Space: spaceName, Kind: kind})
+		}
+	}
+	g, joined, err := cache.do(ctx, bench, func() (*trace.Grid, error) {
 		var path string
 		if l.cacheDir != "" {
 			disk := diskCache{dir: l.cacheDir}
 			path = disk.path(bench, spaceName, gridKeyHash(l.cfg, space))
 			if g := disk.load(path, bench, space); g != nil {
+				emit(GridDiskLoad)
 				return g, nil
 			}
 		}
-		g, err := l.collect(ctx, l.sys, b, space, trace.CollectOptions{Workers: l.workers})
+		if l.gate != nil {
+			release, err := l.gate(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: collecting %s %s: %w", spaceName, bench, err)
+			}
+			defer release()
+		}
+		g, err := l.collect(ctx, l.sys, b, space, trace.CollectOptions{Workers: l.workers, OnProgress: l.progress})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: collecting %s %s: %w", spaceName, bench, err)
 		}
+		emit(GridCollect)
 		if path != "" {
 			_ = diskCache{dir: l.cacheDir}.store(path, g) // best-effort
 		}
 		return g, nil
 	})
+	if err == nil && joined {
+		emit(GridHit)
+	}
+	return g, err
+}
+
+// Forget drops every cached artifact for a benchmark — coarse and fine
+// grids plus their analyses — so the next request recollects. In-flight
+// collections are unaffected: their waiters still get the result, it just
+// is not retained. Size-bounding layers (the serve LRU) call this on
+// eviction. It reports whether anything was cached.
+func (l *Lab) Forget(bench string) bool {
+	dropped := l.coarseGrids.forget(bench)
+	dropped = l.fineGrids.forget(bench) || dropped
+	l.mu.Lock()
+	if _, ok := l.analyses[bench]; ok {
+		delete(l.analyses, bench)
+		dropped = true
+	}
+	if _, ok := l.fineAnalyses[bench]; ok {
+		delete(l.fineAnalyses, bench)
+		dropped = true
+	}
+	l.mu.Unlock()
+	return dropped
 }
 
 // Analysis returns the cached coarse-grid analysis for a benchmark.

@@ -1,0 +1,72 @@
+package serve
+
+// The serve-level coalescer: /v1/optimal answers are pure functions of
+// (benchmark, space, budget), so concurrent identical requests collapse to
+// one computation (singleflight) and completed answers are memoized in a
+// size-bounded LRU. This mirrors the Lab's grid singleflight one layer up:
+// the grid cache dedups the expensive characterization, the memo dedups
+// the schedule search on top of it.
+
+import (
+	"context"
+	"sync"
+
+	"mcdvfs/internal/cache/lru"
+)
+
+// memo is a keyed singleflight in front of an LRU of computed values.
+type memo[V any] struct {
+	store *lru.Cache[string, V]
+
+	mu      sync.Mutex
+	flights map[string]*flight[V]
+}
+
+type flight[V any] struct {
+	done chan struct{} // closed when val and err are final
+	val  V
+	err  error
+}
+
+func newMemo[V any](capacity int) (*memo[V], error) {
+	store, err := lru.New[string, V](capacity, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &memo[V]{store: store, flights: make(map[string]*flight[V])}, nil
+}
+
+// do returns the memoized value for key, computing it at most once no
+// matter how many goroutines ask concurrently. hit reports whether the
+// value came from the memo or an in-flight computation rather than this
+// caller's own compute. Failed computations are not cached; a waiter whose
+// ctx expires abandons the flight without killing it.
+func (m *memo[V]) do(ctx context.Context, key string, compute func() (V, error)) (val V, hit bool, err error) {
+	if v, ok := m.store.Get(key); ok {
+		return v, true, nil
+	}
+	m.mu.Lock()
+	if f, ok := m.flights[key]; ok {
+		m.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, true, f.err
+		case <-ctx.Done():
+			var zero V
+			return zero, true, ctx.Err()
+		}
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	m.flights[key] = f
+	m.mu.Unlock()
+
+	f.val, f.err = compute()
+	if f.err == nil {
+		m.store.Add(key, f.val)
+	}
+	m.mu.Lock()
+	delete(m.flights, key)
+	m.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}

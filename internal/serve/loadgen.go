@@ -1,0 +1,388 @@
+package serve
+
+// The closed-loop load generator behind cmd/mcdvfsload and the smoke tier:
+// N clients issue requests back-to-back against a running daemon, each
+// drawing its benchmark from a zipfian popularity distribution (a few hot
+// benchmarks, a long cold tail — the shape that makes the coalescing and
+// LRU layers earn their keep) and its endpoint from a weighted mix. All
+// randomness is seeded per client, so a (seed, clients, requests) triple
+// replays the identical request sequence.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mcdvfs/internal/stats"
+	"mcdvfs/internal/workload"
+)
+
+// LoadMix weights the request types. Zero-valued mixes default to
+// DefaultLoadMix; a weight of 0 disables that endpoint.
+type LoadMix struct {
+	Grid       int
+	Optimal    int
+	Stability  int
+	Emin       int
+	Benchmarks int
+}
+
+// DefaultLoadMix approximates a production query mix: mostly schedule
+// decisions, some raw grids, a sprinkle of predictor and registry calls.
+func DefaultLoadMix() LoadMix {
+	return LoadMix{Grid: 10, Optimal: 70, Stability: 10, Emin: 5, Benchmarks: 5}
+}
+
+func (m LoadMix) total() int { return m.Grid + m.Optimal + m.Stability + m.Emin + m.Benchmarks }
+
+// LoadConfig parameterizes one load run.
+type LoadConfig struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the closed-loop concurrency. Default 8.
+	Clients int
+	// Requests, when positive, is the total request budget split across
+	// clients — the deterministic mode. When zero, clients run until
+	// Duration elapses (or ctx is cancelled).
+	Requests int
+	// Duration bounds a Requests==0 run. Default 5s.
+	Duration time.Duration
+	// Seed feeds every client's generator (client i uses Seed+i).
+	Seed int64
+	// Mix weights the endpoints; zero value means DefaultLoadMix.
+	Mix LoadMix
+	// ZipfS is the zipf skew (>1; larger = hotter head). Default 1.4.
+	ZipfS float64
+	// Benchmarks is the popularity-ranked pool; empty means the headline
+	// six.
+	Benchmarks []string
+	// Space and Budget parameterize grid/optimal requests.
+	Space  string
+	Budget float64
+	// Client overrides the HTTP client (tests inject the in-process one).
+	Client *http.Client
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Mix.total() == 0 {
+		c.Mix = DefaultLoadMix()
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.4
+	}
+	if len(c.Benchmarks) == 0 {
+		c.Benchmarks = workload.HeadlineNames()
+	}
+	if c.Space == "" {
+		c.Space = "coarse"
+	}
+	if c.Budget <= 0 {
+		c.Budget = 1.3
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// EndpointStats summarizes one endpoint's latencies in milliseconds.
+type EndpointStats struct {
+	Count  int
+	Errors int // non-2xx responses
+	P50    float64
+	P95    float64
+	P99    float64
+	Max    float64
+}
+
+// LoadReport is the outcome of one load run.
+type LoadReport struct {
+	Requests        int
+	Status2xx       int
+	Status4xx       int
+	Status5xx       int
+	Shed            int // 429 responses (coalesced into Status4xx too)
+	TransportErrors int
+	Endpoints       map[string]EndpointStats
+
+	// Deltas of the daemon's own counters across the run, scraped from
+	// /metrics; zero when scraping failed.
+	GridRequests    int64
+	GridCollections int64
+	GridCacheHits   int64
+	GridDiskLoads   int64
+	OptimalRequests int64
+	OptimalMemoHits int64
+	// CoalesceHitRate is GridCacheHits / GridRequests over the run, the
+	// fraction of grid demands absorbed without collecting. -1 when no
+	// grid requests were observed.
+	CoalesceHitRate float64
+}
+
+// sample is one completed request.
+type sample struct {
+	endpoint string
+	status   int // 0 = transport error
+	ms       float64
+}
+
+// RunLoad drives the configured load until the request budget or duration
+// is exhausted, then aggregates latencies and scrapes counter deltas.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+	// The scrapes use the caller's context: the run context below expires
+	// with the duration, which must not kill the after-run scrape.
+	scrapeCtx := ctx
+	before, _ := scrapeMetrics(scrapeCtx, cfg)
+	if cfg.Requests == 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	perClient := make([]int, cfg.Clients)
+	if cfg.Requests > 0 {
+		for i := 0; i < cfg.Requests; i++ {
+			perClient[i%cfg.Clients]++
+		}
+	}
+
+	results := make([][]sample, cfg.Clients)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			results[id] = runClient(ctx, cfg, id, perClient[id])
+		}(i)
+	}
+	wg.Wait()
+
+	report := aggregate(results)
+	if after, err := scrapeMetrics(scrapeCtx, cfg); err == nil && before != nil {
+		report.GridRequests = after["mcdvfsd_grid_requests_total"] - before["mcdvfsd_grid_requests_total"]
+		report.GridCollections = after["mcdvfsd_grid_collections_total"] - before["mcdvfsd_grid_collections_total"]
+		report.GridCacheHits = after["mcdvfsd_grid_cache_hits_total"] - before["mcdvfsd_grid_cache_hits_total"]
+		report.GridDiskLoads = after["mcdvfsd_grid_disk_loads_total"] - before["mcdvfsd_grid_disk_loads_total"]
+		report.OptimalRequests = after["mcdvfsd_optimal_requests_total"] - before["mcdvfsd_optimal_requests_total"]
+		report.OptimalMemoHits = after["mcdvfsd_optimal_memo_hits_total"] - before["mcdvfsd_optimal_memo_hits_total"]
+	}
+	if report.GridRequests > 0 {
+		report.CoalesceHitRate = float64(report.GridCacheHits) / float64(report.GridRequests)
+	} else {
+		report.CoalesceHitRate = -1
+	}
+	return report, nil
+}
+
+// runClient is one closed loop: pick, send, record, repeat.
+func runClient(ctx context.Context, cfg LoadConfig, id, budget int) []sample {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+	var zipf *rand.Zipf
+	if len(cfg.Benchmarks) > 1 {
+		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Benchmarks)-1))
+	}
+	pickBench := func() string {
+		if zipf == nil {
+			return cfg.Benchmarks[0]
+		}
+		return cfg.Benchmarks[zipf.Uint64()]
+	}
+
+	var samples []sample
+	for n := 0; budget == 0 || n < budget; n++ {
+		if ctx.Err() != nil {
+			break
+		}
+		endpoint, method, path, body := nextRequest(cfg, rng, pickBench)
+		start := time.Now()
+		status := issue(ctx, cfg, method, path, body)
+		elapsed := time.Since(start)
+		if status == 0 && ctx.Err() != nil {
+			break // shutdown race, not a transport failure
+		}
+		samples = append(samples, sample{
+			endpoint: endpoint,
+			status:   status,
+			ms:       float64(elapsed.Nanoseconds()) / 1e6,
+		})
+	}
+	return samples
+}
+
+// nextRequest draws one request from the mix.
+func nextRequest(cfg LoadConfig, rng *rand.Rand, pickBench func() string) (endpoint, method, path string, body []byte) {
+	marshal := func(v any) []byte {
+		b, _ := json.Marshal(v)
+		return b
+	}
+	roll := rng.Intn(cfg.Mix.total())
+	switch m := cfg.Mix; {
+	case roll < m.Grid:
+		return "grid", http.MethodPost, "/v1/grid",
+			marshal(GridRequest{Benchmark: pickBench(), Space: cfg.Space})
+	case roll < m.Grid+m.Optimal:
+		return "optimal", http.MethodPost, "/v1/optimal",
+			marshal(OptimalRequest{Benchmark: pickBench(), Space: cfg.Space, Budget: cfg.Budget})
+	case roll < m.Grid+m.Optimal+m.Stability:
+		return "stability", http.MethodPost, "/v1/stability",
+			marshal(StabilityRequest{History: []int{4, 6, 5}, Current: rng.Intn(4)})
+	case roll < m.Grid+m.Optimal+m.Stability+m.Emin:
+		return "emin", http.MethodPost, "/v1/emin",
+			marshal(EminRequest{Predictor: "ewma", Alpha: 0.3, Observations: []float64{1.1, 1.05, 1.2}})
+	default:
+		return "benchmarks", http.MethodGet, "/v1/benchmarks", nil
+	}
+}
+
+// issue sends one request and returns the status code, 0 on transport
+// failure. Response bodies are drained so connections are reused.
+func issue(ctx context.Context, cfg LoadConfig, method, path string, body []byte) int {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, cfg.BaseURL+path, rd)
+	if err != nil {
+		return 0
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return 0
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// aggregate merges per-client samples into the report.
+func aggregate(results [][]sample) *LoadReport {
+	r := &LoadReport{Endpoints: make(map[string]EndpointStats)}
+	lat := make(map[string][]float64)
+	for _, clientSamples := range results {
+		for _, s := range clientSamples {
+			r.Requests++
+			switch {
+			case s.status == 0:
+				r.TransportErrors++
+			case s.status >= 500:
+				r.Status5xx++
+			case s.status >= 400:
+				r.Status4xx++
+			default:
+				r.Status2xx++
+			}
+			if s.status == http.StatusTooManyRequests {
+				r.Shed++
+			}
+			es := r.Endpoints[s.endpoint]
+			es.Count++
+			if s.status == 0 || s.status >= 300 {
+				es.Errors++
+			}
+			r.Endpoints[s.endpoint] = es
+			lat[s.endpoint] = append(lat[s.endpoint], s.ms)
+		}
+	}
+	for ep, xs := range lat {
+		es := r.Endpoints[ep]
+		es.P50 = quantileOrZero(xs, 0.50)
+		es.P95 = quantileOrZero(xs, 0.95)
+		es.P99 = quantileOrZero(xs, 0.99)
+		for _, x := range xs {
+			if x > es.Max {
+				es.Max = x
+			}
+		}
+		r.Endpoints[ep] = es
+	}
+	return r
+}
+
+func quantileOrZero(xs []float64, q float64) float64 {
+	v, err := stats.Quantile(xs, q)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// scrapeMetrics fetches and parses the daemon's /metrics counters.
+func scrapeMetrics(ctx context.Context, cfg LoadConfig) (map[string]int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: /metrics returned %d", resp.StatusCode)
+	}
+	out := make(map[string]int64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		out[fields[0]] = v
+	}
+	return out, sc.Err()
+}
+
+// String renders the report as the table mcdvfsload prints.
+func (r *LoadReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests           %d  (2xx %d, 4xx %d, 5xx %d, shed %d, transport-err %d)\n",
+		r.Requests, r.Status2xx, r.Status4xx, r.Status5xx, r.Shed, r.TransportErrors)
+	eps := make([]string, 0, len(r.Endpoints))
+	for ep := range r.Endpoints {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	fmt.Fprintf(&b, "%-12s %8s %8s %9s %9s %9s %9s\n", "endpoint", "count", "errors", "p50 ms", "p95 ms", "p99 ms", "max ms")
+	for _, ep := range eps {
+		es := r.Endpoints[ep]
+		fmt.Fprintf(&b, "%-12s %8d %8d %9.2f %9.2f %9.2f %9.2f\n",
+			ep, es.Count, es.Errors, es.P50, es.P95, es.P99, es.Max)
+	}
+	if r.GridRequests > 0 {
+		fmt.Fprintf(&b, "grid cache         %d requests: %d collections, %d coalesced/cached hits, %d disk loads (hit rate %.1f%%)\n",
+			r.GridRequests, r.GridCollections, r.GridCacheHits, r.GridDiskLoads, 100*r.CoalesceHitRate)
+	}
+	if r.OptimalRequests > 0 {
+		fmt.Fprintf(&b, "optimal memo       %d requests, %d memo hits (%.1f%%)\n",
+			r.OptimalRequests, r.OptimalMemoHits, 100*float64(r.OptimalMemoHits)/float64(r.OptimalRequests))
+	}
+	return b.String()
+}

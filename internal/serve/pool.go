@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrSaturated is returned when a request would start a grid collection
+// but every execution slot is busy and the wait queue is full. Handlers
+// translate it into 429 Too Many Requests with a Retry-After hint.
+var ErrSaturated = errors.New("serve: collection capacity saturated")
+
+// pool is the admission controller for grid collections: at most `workers`
+// collections run concurrently, at most `depth` admission requests wait in
+// line behind them, and everything beyond that is shed immediately. Only
+// requests that actually need to collect pass through the pool — cache
+// hits and coalesced joins bypass it entirely (see experiments.CollectGate).
+type pool struct {
+	exec  chan struct{} // one token per running collection
+	queue chan struct{} // one token per waiting admission request
+}
+
+func newPool(workers, depth int) *pool {
+	return &pool{
+		exec:  make(chan struct{}, workers),
+		queue: make(chan struct{}, depth),
+	}
+}
+
+// acquire admits one collection, blocking in the bounded queue when all
+// execution slots are busy. It returns a release func on admission,
+// ErrSaturated when the queue is full, or ctx's error if the caller's
+// deadline lands while queued. The signature matches
+// experiments.CollectGate.
+func (p *pool) acquire(ctx context.Context) (func(), error) {
+	release := func() { <-p.exec }
+	// Fast path: a free execution slot.
+	select {
+	case p.exec <- struct{}{}:
+		return release, nil
+	default:
+	}
+	// Full pool: take a queue slot or shed.
+	select {
+	case p.queue <- struct{}{}:
+	default:
+		return nil, ErrSaturated
+	}
+	defer func() { <-p.queue }()
+	select {
+	case p.exec <- struct{}{}:
+		return release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// running and queued are gauge reads for /metrics.
+func (p *pool) running() int { return len(p.exec) }
+func (p *pool) queued() int  { return len(p.queue) }

@@ -1,0 +1,191 @@
+// Package serve implements mcdvfsd, the always-on DVFS query daemon: the
+// paper's decision procedure — given a workload and an energy budget, pick
+// the (CPU, memory) frequency schedule minimizing runtime — exposed as an
+// HTTP/JSON service instead of one-shot CLIs.
+//
+// The service layers on the Lab's sharded singleflight grid cache:
+// identical in-flight grid requests coalesce to one collection, completed
+// grids stay cached under a size-bounded LRU of benchmarks (evicted
+// benchmarks are released back through Lab.Forget), collections run behind
+// a bounded admission pool with a finite wait queue (saturation sheds with
+// 429 + Retry-After), and /v1/optimal answers are memoized with their own
+// singleflight. Every handler threads the request context, so a client
+// disconnect cancels the work it owns. See DESIGN.md §8.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"mcdvfs/internal/cache/lru"
+	"mcdvfs/internal/experiments"
+	"mcdvfs/internal/sim"
+)
+
+// Config tunes the daemon. The zero value serves with the defaults below.
+type Config struct {
+	// SimConfig selects the simulated platform; nil means the default
+	// calibrated configuration.
+	SimConfig *sim.Config
+	// CollectWorkers bounds the worker pool inside one grid collection
+	// (trace.CollectOptions.Workers). Zero means GOMAXPROCS.
+	CollectWorkers int
+	// PoolSize is the number of grid collections allowed to run
+	// concurrently. Default 2.
+	PoolSize int
+	// QueueDepth is how many collection admissions may wait behind a full
+	// pool before requests are shed with 429. Default 8.
+	QueueDepth int
+	// MaxBenchmarks bounds how many benchmarks the daemon keeps
+	// characterized; the least recently requested is forgotten first.
+	// Default 16.
+	MaxBenchmarks int
+	// MemoSize bounds the /v1/optimal response memo. Default 256.
+	MemoSize int
+	// GridCacheDir enables the Lab's persistent grid cache.
+	GridCacheDir string
+	// RequestTimeout caps each request's context. Zero disables.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint attached to 429 responses. Default 1s.
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolSize <= 0 {
+		c.PoolSize = 2
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	} else if c.QueueDepth == 0 {
+		c.QueueDepth = 8
+	}
+	if c.MaxBenchmarks <= 0 {
+		c.MaxBenchmarks = 16
+	}
+	if c.MemoSize <= 0 {
+		c.MemoSize = 256
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the mcdvfsd daemon: a Lab wrapped in admission control,
+// eviction, memoization, and metrics, exposed over HTTP.
+type Server struct {
+	cfg      Config
+	lab      *experiments.Lab
+	pool     *pool
+	met      *metrics
+	benches  *lru.Cache[string, struct{}]
+	optMemo  *memo[*OptimalResponse]
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// New builds a server. The Lab is constructed here so the cache hooks
+// (observer, gate, progress) and the eviction LRU are wired consistently.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:  cfg,
+		pool: newPool(cfg.PoolSize, cfg.QueueDepth),
+		met:  &metrics{},
+		mux:  http.NewServeMux(),
+	}
+	var err error
+	s.benches, err = lru.New[string, struct{}](cfg.MaxBenchmarks, func(bench string, _ struct{}) {
+		s.lab.Forget(bench)
+		s.met.benchEvictions.Add(1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.optMemo, err = newMemo[*OptimalResponse](cfg.MemoSize)
+	if err != nil {
+		return nil, err
+	}
+
+	simCfg := sim.DefaultConfig()
+	if cfg.SimConfig != nil {
+		simCfg = *cfg.SimConfig
+	}
+	opts := []experiments.Option{
+		experiments.WithWorkers(cfg.CollectWorkers),
+		experiments.WithGridObserver(s.met.gridEvent),
+		experiments.WithCollectGate(s.pool.acquire),
+		experiments.WithCollectProgress(s.met.collectProgress),
+	}
+	if cfg.GridCacheDir != "" {
+		opts = append(opts, experiments.WithGridCacheDir(cfg.GridCacheDir))
+	}
+	s.lab, err = experiments.NewLabWithConfig(simCfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.routes()
+	return s, nil
+}
+
+// touch marks a benchmark recently used, evicting the coldest one (through
+// Lab.Forget) if the LRU is over capacity.
+func (s *Server) touch(bench string) { s.benches.Add(bench, struct{}{}) }
+
+// requestCtx derives the handler context: the request's own context (so a
+// client disconnect cancels work the request owns) bounded by the
+// configured per-request deadline.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// Handler returns the instrumented root handler: every request is counted,
+// the in-flight gauge tracks it, and its response class is tallied.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.met.requests.Add(1)
+		s.met.inflight.Add(1)
+		defer s.met.inflight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w}
+		s.mux.ServeHTTP(rec, r)
+		if rec.code == 0 {
+			rec.code = http.StatusOK
+		}
+		s.met.countResponse(rec.code)
+	})
+}
+
+// Run serves on addr until ctx is cancelled, then drains: the health check
+// flips to 503 for load balancers, listeners close, and in-flight requests
+// get up to drain to finish. A nil error means a clean drain.
+func (s *Server) Run(ctx context.Context, addr string, drain time.Duration) error {
+	// No BaseContext tied to ctx: a graceful drain must let in-flight
+	// requests finish, not cancel them the moment shutdown begins.
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	s.beginDrain()
+	// The drain deadline must survive the cancellation that triggered it.
+	shutCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), drain)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
+}
+
+// beginDrain flips the server into draining mode: /healthz starts
+// reporting 503 so load balancers stop routing here.
+func (s *Server) beginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.met.draining.Store(1)
+	}
+}

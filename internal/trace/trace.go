@@ -16,6 +16,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"mcdvfs/internal/freq"
 	"mcdvfs/internal/sim"
@@ -109,6 +110,11 @@ type CollectOptions struct {
 	// Zero (or negative) means GOMAXPROCS; the pool is additionally capped
 	// at the setting count, since a worker's unit of work is one column.
 	Workers int
+	// OnProgress, when non-nil, is invoked after each setting column
+	// completes with the number of finished columns and the space size. It
+	// is called from worker goroutines and must be safe for concurrent use;
+	// long-running services use it to export collection progress.
+	OnProgress func(done, total int)
 }
 
 // workers resolves the effective pool size for a space.
@@ -177,6 +183,7 @@ func CollectContext(ctx context.Context, sys *sim.System, bench workload.Benchma
 	// Buffered to the full setting count: if workers exit early on error,
 	// the feeder below must never block on a channel nobody drains.
 	ids := make(chan int, space.Len())
+	var columnsDone atomic.Int64
 	for w := 0; w < opts.workers(space.Len()); w++ {
 		wg.Add(1)
 		go func() {
@@ -199,6 +206,9 @@ func CollectContext(ctx context.Context, sys *sim.System, bench workload.Benchma
 						CPI:        m.CPI,
 						MPKI:       m.MPKI,
 					}
+				}
+				if opts.OnProgress != nil {
+					opts.OnProgress(int(columnsDone.Add(1)), space.Len())
 				}
 			}
 		}()
