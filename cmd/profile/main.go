@@ -74,16 +74,18 @@ func cmdBuild(args []string) error {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
+		if err := p.WriteJSON(f); err != nil {
+			_ = f.Close() // the write error takes precedence
+			return err
+		}
+		return f.Close()
 	}
-	return p.WriteJSON(w)
+	return p.WriteJSON(os.Stdout)
 }
 
 func cmdShow(args []string) error {
@@ -152,6 +154,7 @@ func load(path string) (*profile.Profile, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:allow errflow read-only file; a close error after a successful read carries no data loss
 	defer f.Close()
 	return profile.ReadJSON(f)
 }

@@ -65,7 +65,7 @@ func run(ctx context.Context, bench, workloadFile, spaceName, out string, worker
 			return err
 		}
 		b, err := workload.ReadJSON(f)
-		f.Close()
+		_ = f.Close() // read-only; the decode error below is the one that matters
 		if err != nil {
 			return err
 		}
@@ -86,14 +86,16 @@ func run(ctx context.Context, bench, workloadFile, spaceName, out string, worker
 	default:
 		return fmt.Errorf("missing -bench or -workload (use -list to see built-ins)")
 	}
-	w := os.Stdout
 	if out != "" {
 		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
+		if err := grid.WriteJSON(f); err != nil {
+			_ = f.Close() // the write error takes precedence
+			return err
+		}
+		return f.Close()
 	}
-	return grid.WriteJSON(w)
+	return grid.WriteJSON(os.Stdout)
 }

@@ -24,6 +24,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+
+	"mcdvfs/internal/analysis/flow"
 )
 
 // Diagnostic is one finding, positioned and attributed to its check.
@@ -68,6 +70,11 @@ type Package struct {
 // Reportf; the driver owns collection, suppression, and ordering.
 type Pass struct {
 	Pkg *Package
+	// Prog indexes every function of every loaded module package — the
+	// substrate for interprocedural checks. It is shared, read-mostly (CFGs
+	// and def-use chains build lazily behind sync.Once), and safe to use from
+	// concurrent passes.
+	Prog *flow.Program
 	// IncludeSrc and IncludeTests tell the check which file sets are in
 	// scope for this package: the driver resolves Applies/AnalyzeTests (a
 	// check can cover a package's tests without covering its sources, as
@@ -89,6 +96,30 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass is one analyzer's module-wide execution: after every
+// per-package pass, analyzers that need cross-package state in one place
+// (lockorder's acquisition graph spans Lab, the LRU, and the serve pool)
+// run once over all in-scope packages.
+type ModulePass struct {
+	// Prog indexes the whole loaded module.
+	Prog *flow.Program
+	// Pkgs are the packages in scope for this analyzer, in load order.
+	Pkgs   []*Package
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Prog.Fset.Position(pos)
+	p.report(Diagnostic{
+		Pos:     position,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
 // Analyzer is one named check.
 type Analyzer struct {
 	// Name is the identifier used by -disable and //lint:allow.
@@ -101,8 +132,17 @@ type Analyzer struct {
 	// AnalyzeTests reports whether the check also wants the package's
 	// _test.go files (AST only) for the given import path.
 	AnalyzeTests func(pkgPath string) bool
-	// Run executes the check against one package.
+	// Prepare, if set, runs once before any pass, with the whole-module
+	// Program — the place to compute call-graph summaries. It runs serially;
+	// whatever it stores must be read-only afterwards, because Run executes
+	// concurrently across packages.
+	Prepare func(prog *flow.Program)
+	// Run executes the check against one package. Optional for analyzers
+	// that only need the module-wide pass.
 	Run func(pass *Pass)
+	// RunModule, if set, executes once over every in-scope package after the
+	// per-package passes. It runs serially.
+	RunModule func(pass *ModulePass)
 }
 
 // Suite returns every analyzer in the canonical order. The order is part of
@@ -115,6 +155,9 @@ func Suite() []*Analyzer {
 		FloatEqAnalyzer(),
 		CtxAnalyzer(),
 		LockCopyAnalyzer(),
+		GoLeakAnalyzer(),
+		LockOrderAnalyzer(),
+		ErrFlowAnalyzer(),
 	}
 }
 

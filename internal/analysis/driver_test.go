@@ -20,7 +20,8 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files with current output")
 
 // fixtures lists every fixture package and the check it exercises.
-var fixtures = []string{"determfix", "unitfix", "floatfix", "ctxfix", "lockfix", "lintfix"}
+var fixtures = []string{"determfix", "unitfix", "floatfix", "ctxfix", "lockfix", "lintfix",
+	"goleakfix", "lockorderfix", "errflowfix"}
 
 // runFixture executes the whole suite, scope-free, over one fixture.
 func runFixture(t *testing.T, name string, disable map[string]bool) string {
@@ -88,6 +89,46 @@ func TestDisableSkipsCheck(t *testing.T) {
 	got := runFixture(t, "floatfix", map[string]bool{"floateq": true})
 	if strings.Contains(got, "[floateq]") {
 		t.Errorf("disabled check still reported:\n%s", got)
+	}
+}
+
+// BenchmarkVet measures the full-repository suite run — load, type-check,
+// flow construction, every check — serial against the default worker pool.
+// The parallel/serial ratio is the headline number for the driver's bounded
+// worker pool; output determinism across the two is covered by the golden
+// tests, which run through the same bucketed collection path.
+func BenchmarkVet(b *testing.B) {
+	cases := []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // 0 = GOMAXPROCS
+	}
+	// Warm the process-wide stdlib importer so both variants measure the
+	// module-level work the worker pool actually parallelizes, not the
+	// one-time stdlib type-check.
+	if _, err := analysis.Run(analysis.Options{
+		Dir: filepath.Join("..", ".."), Patterns: []string{"./..."},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				diags, err := analysis.Run(analysis.Options{
+					Dir:      filepath.Join("..", ".."),
+					Patterns: []string{"./..."},
+					Workers:  bc.workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(diags) != 0 {
+					b.Fatalf("repo not clean under benchmark: %v", diags[0])
+				}
+			}
+		})
 	}
 }
 

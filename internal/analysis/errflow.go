@@ -1,0 +1,206 @@
+package analysis
+
+// errflow: an error that is produced and then ignored is the cheapest bug
+// this codebase can ship — a CSV writer that silently lost its flush error
+// once produced a truncated sample stream that the determinism harness then
+// faithfully reproduced. The check enforces that every error result is
+// checked, returned, or *visibly* discarded:
+//
+//   - a call statement (or deferred call) whose result set includes an
+//     error, with the results dropped on the floor, is reported — writing
+//     `_ = f()` instead is the sanctioned discard, one character of
+//     intentionality;
+//   - an error assigned to a variable that no path ever reads again is
+//     reported at the definition, using the flow package's def-use chains —
+//     this is what catches `_, err = f()` followed by a return of the stale
+//     success path.
+//
+// Exemptions keep the check honest rather than noisy: the fmt print family
+// and strings.Builder/bytes.Buffer writes are documented to be infallible
+// or universally dropped; assignments to a named error result are live at
+// every return by construction.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mcdvfs/internal/analysis/flow"
+)
+
+// ErrFlowAnalyzer builds the errflow check.
+func ErrFlowAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:    "errflow",
+		Doc:     "error results must be checked, returned, or explicitly discarded with _ =",
+		Applies: func(path string) bool { return strings.HasPrefix(path, "mcdvfs") },
+		Run:     runErrFlow,
+	}
+}
+
+func runErrFlow(pass *Pass) {
+	if !pass.IncludeSrc {
+		return
+	}
+	e := &errflowChecker{pass: pass}
+	for _, f := range pass.Pkg.Syntax {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				e.checkFunc(fd)
+			}
+		}
+	}
+}
+
+type errflowChecker struct {
+	pass *Pass
+}
+
+// checkFunc analyzes one function node, then recurses into nested literals,
+// each with its own CFG and def-use scope.
+func (e *errflowChecker) checkFunc(fn ast.Node) {
+	body := flow.FuncBody(fn)
+	var nested []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			nested = append(nested, lit)
+			return false
+		}
+		e.checkDropped(n)
+		return true
+	})
+	e.checkUnusedDefs(fn)
+	for _, lit := range nested {
+		e.checkFunc(lit)
+	}
+}
+
+// checkDropped flags statements that evaluate an error-returning call and
+// discard every result implicitly.
+func (e *errflowChecker) checkDropped(n ast.Node) {
+	var call *ast.CallExpr
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		call, _ = n.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call = n.Call
+	case *ast.GoStmt:
+		// The goroutine's own body is analyzed as a function; the launch
+		// expression itself returns nothing.
+		return
+	}
+	if call == nil || !e.returnsError(call) || e.exempt(call) {
+		return
+	}
+	what := "call"
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		what = "deferred call"
+	}
+	e.pass.Reportf(call.Pos(), "%s %s returns an error that is silently dropped; handle it or discard with _ =",
+		what, render(call.Fun))
+}
+
+// returnsError reports whether the call's result set includes an error.
+func (e *errflowChecker) returnsError(call *ast.CallExpr) bool {
+	tv, ok := e.pass.Pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if t.At(i).Type().String() == "error" {
+				return true
+			}
+		}
+		return false
+	default:
+		return t.String() == "error"
+	}
+}
+
+// exempt lists the callees whose dropped error is idiom, not negligence:
+// the fmt print family (universally unchecked), and Builder/Buffer writes
+// (documented to never fail).
+func (e *errflowChecker) exempt(call *ast.CallExpr) bool {
+	info := e.pass.Pkg.Info
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// fmt.Println / fmt.Fprintf / ...
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, isPkg := pkgNameOf(info, id); isPkg && pn.Imported().Path() == "fmt" {
+			return strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint")
+		}
+	}
+	// (*strings.Builder) and (*bytes.Buffer) methods never return a non-nil
+	// error by contract, and hash.Hash documents that Write never fails.
+	if s, ok := info.Selections[sel]; ok {
+		recv := s.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		switch recv.String() {
+		case "strings.Builder", "bytes.Buffer",
+			"hash.Hash", "hash.Hash32", "hash.Hash64":
+			return true
+		}
+	}
+	return false
+}
+
+// checkUnusedDefs reports error definitions that no path ever reads.
+func (e *errflowChecker) checkUnusedDefs(fn ast.Node) {
+	info := e.pass.Pkg.Info
+	du := flow.BuildDefUse(flow.New(fn), info)
+	named := namedResultVars(fn, info)
+	for _, d := range du.Defs {
+		if d.Ident == nil || d.Obj.Type().String() != "error" || named[d.Obj] {
+			continue
+		}
+		// Only definitions that carry a fresh value are interesting; err =
+		// nil resets and declarations without a value are bookkeeping.
+		if !defCarriesCall(d) {
+			continue
+		}
+		if len(du.UsedBy[d]) == 0 {
+			e.pass.Reportf(d.Pos, "error assigned to %s is never checked on any path; return it, branch on it, or assign to _",
+				d.Obj.Name())
+		}
+	}
+}
+
+// namedResultVars collects a function's named results: assigning to one is
+// meaningful at every return, so their defs are exempt from the unused rule.
+func namedResultVars(fn ast.Node, info *types.Info) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	ft := flow.FuncType(fn)
+	if ft.Results == nil {
+		return out
+	}
+	for _, f := range ft.Results.List {
+		for _, name := range f.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok && v != nil {
+				out[v] = true
+			}
+		}
+	}
+	return out
+}
+
+// defCarriesCall reports whether the definition's statement evaluates a
+// call on its right-hand side — the shapes `err := f()`, `v, err := f()`,
+// and `_, err = f()`.
+func defCarriesCall(d *flow.Def) bool {
+	as, ok := d.Node.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, rhs := range as.Rhs {
+		if _, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,311 @@
+package flow
+
+// Reaching definitions and def-use chains over a CFG, for the local
+// variables of one function (parameters, named results, and everything
+// declared in the body). The analysis is a textbook forward union problem:
+// gen/kill per block, iterate to a fixpoint, then one ordered walk per block
+// pairs every use with the definitions that reach it.
+//
+// Nested function literals are treated asymmetrically on purpose: a *use*
+// inside a closure counts at the closure's syntactic position (a captured
+// error variable read by a deferred literal is still read), while a *def*
+// inside a closure is ignored (when — or whether — it executes is unknowable
+// here, and a phantom kill would hide real defs from the checks).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Def is one definition of a local variable.
+type Def struct {
+	// Obj is the variable being defined.
+	Obj *types.Var
+	// Ident is the defining occurrence (nil for implicit parameter and
+	// named-result definitions at function entry).
+	Ident *ast.Ident
+	// Node is the CFG node the definition occurs in (nil at entry).
+	Node ast.Node
+	// Pos positions the definition for reports.
+	Pos token.Pos
+}
+
+// DefUse holds the analysis results for one function.
+type DefUse struct {
+	CFG *CFG
+	// Defs lists every definition in a stable (position) order.
+	Defs []*Def
+	// Uses maps each using identifier to the definitions reaching it.
+	Uses map[*ast.Ident][]*Def
+	// UsedBy inverts Uses: the identifiers each definition may flow to.
+	UsedBy map[*Def][]*ast.Ident
+}
+
+// BuildDefUse runs reaching definitions over cfg. info must be the
+// type-checked Info covering the function's file.
+func BuildDefUse(cfg *CFG, info *types.Info) *DefUse {
+	a := &duBuilder{
+		cfg:    cfg,
+		info:   info,
+		du:     &DefUse{CFG: cfg, Uses: map[*ast.Ident][]*Def{}, UsedBy: map[*Def][]*ast.Ident{}},
+		byNode: map[ast.Node][]*Def{},
+	}
+	a.collectLocals()
+	a.collectDefs()
+	a.solve()
+	a.chain()
+	return a.du
+}
+
+type duBuilder struct {
+	cfg  *CFG
+	info *types.Info
+	du   *DefUse
+	// locals are the variables under analysis.
+	locals map[*types.Var]bool
+	// byNode indexes defs by the CFG node containing them.
+	byNode map[ast.Node][]*Def
+	// entryDefs are parameter/result defs live at function entry.
+	entryDefs []*Def
+	// in/out are the block-level reaching sets.
+	in, out map[*Block]defSet
+}
+
+type defSet map[*Def]bool
+
+// collectLocals gathers every variable declared inside the function:
+// parameters, named results, receivers, and body-scoped vars.
+func (a *duBuilder) collectLocals() {
+	a.locals = map[*types.Var]bool{}
+	body := FuncBody(a.cfg.Fn)
+	addField := func(fl *ast.FieldList, entry bool) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := a.info.Defs[name].(*types.Var); ok && v != nil {
+					a.locals[v] = true
+					if entry {
+						d := &Def{Obj: v, Pos: name.Pos()}
+						a.entryDefs = append(a.entryDefs, d)
+						a.du.Defs = append(a.du.Defs, d)
+					}
+				}
+			}
+		}
+	}
+	if fd, ok := a.cfg.Fn.(*ast.FuncDecl); ok {
+		addField(fd.Recv, true)
+	}
+	ft := FuncType(a.cfg.Fn)
+	addField(ft.Params, true)
+	addField(ft.Results, true)
+	// Body-declared vars: every Ident the type checker recorded a *types.Var
+	// definition for inside the body.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := a.info.Defs[id].(*types.Var); ok && v != nil && !v.IsField() {
+				a.locals[v] = true
+			}
+		}
+		return true
+	})
+}
+
+// collectDefs walks each block's nodes, recording definitions in order.
+// A definition is a DEFINE/ASSIGN left-hand side, an op-assign, an inc/dec,
+// a declaration with or without a value, or a range key/value.
+func (a *duBuilder) collectDefs() {
+	for _, blk := range a.cfg.Blocks {
+		for _, n := range blk.Nodes {
+			a.defsInNode(n, blk)
+		}
+	}
+}
+
+func (a *duBuilder) defsInNode(n ast.Node, blk *Block) {
+	add := func(id *ast.Ident) {
+		v := a.varOf(id)
+		if v == nil {
+			return
+		}
+		d := &Def{Obj: v, Ident: id, Node: n, Pos: id.Pos()}
+		a.du.Defs = append(a.du.Defs, d)
+		a.byNode[n] = append(a.byNode[n], d)
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				add(id)
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := n.X.(*ast.Ident); ok {
+			add(id)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						if name.Name != "_" {
+							add(name)
+						}
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := n.Key.(*ast.Ident); ok && id.Name != "_" {
+			add(id)
+		}
+		if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
+			add(id)
+		}
+	case *ast.TypeSwitchStmt:
+		// handled via its Assign node placed in the header block
+	case ast.Stmt:
+		// Nested simple statements (if-init was lifted already; nothing else
+		// defines).
+	}
+}
+
+// varOf resolves an identifier to a tracked local, whether it defines
+// (x := ...) or assigns (x = ...).
+func (a *duBuilder) varOf(id *ast.Ident) *types.Var {
+	if v, ok := a.info.Defs[id].(*types.Var); ok && v != nil && a.locals[v] {
+		return v
+	}
+	if v, ok := a.info.Uses[id].(*types.Var); ok && v != nil && a.locals[v] {
+		return v
+	}
+	return nil
+}
+
+// solve runs the forward union fixpoint.
+func (a *duBuilder) solve() {
+	a.in = map[*Block]defSet{}
+	a.out = map[*Block]defSet{}
+	gen := map[*Block]map[*types.Var]*Def{}   // last def per var in block
+	kills := map[*Block]map[*types.Var]bool{} // vars redefined in block
+	for _, blk := range a.cfg.Blocks {
+		g := map[*types.Var]*Def{}
+		k := map[*types.Var]bool{}
+		for _, n := range blk.Nodes {
+			for _, d := range a.byNode[n] {
+				g[d.Obj] = d
+				k[d.Obj] = true
+			}
+		}
+		gen[blk], kills[blk] = g, k
+		a.in[blk] = defSet{}
+		a.out[blk] = defSet{}
+	}
+	for _, d := range a.entryDefs {
+		a.in[a.cfg.Entry][d] = true
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range a.cfg.Blocks {
+			inSet := defSet{}
+			if blk == a.cfg.Entry {
+				for _, d := range a.entryDefs {
+					inSet[d] = true
+				}
+			}
+			for _, p := range blk.Preds {
+				for d := range a.out[p] {
+					inSet[d] = true
+				}
+			}
+			outSet := defSet{}
+			for d := range inSet {
+				if !kills[blk][d.Obj] {
+					outSet[d] = true
+				}
+			}
+			for _, d := range gen[blk] {
+				outSet[d] = true
+			}
+			if len(inSet) != len(a.in[blk]) || len(outSet) != len(a.out[blk]) {
+				a.in[blk], a.out[blk] = inSet, outSet
+				changed = true
+			} else {
+				a.in[blk], a.out[blk] = inSet, outSet
+			}
+		}
+	}
+}
+
+// chain walks each block in order, pairing uses with the defs live at them.
+func (a *duBuilder) chain() {
+	for _, blk := range a.cfg.Blocks {
+		// live: var -> reaching defs at the current point in the block.
+		live := map[*types.Var][]*Def{}
+		for d := range a.in[blk] {
+			live[d.Obj] = append(live[d.Obj], d)
+		}
+		for _, n := range blk.Nodes {
+			a.usesInNode(n, live)
+			for _, d := range a.byNode[n] {
+				live[d.Obj] = []*Def{d}
+			}
+		}
+	}
+}
+
+// usesInNode records every use of a tracked local inside n against the live
+// defs. The defining identifiers themselves are not uses; an op-assign or
+// inc/dec both uses and defines, which works out because uses are recorded
+// against the incoming defs before the node's own defs overwrite them.
+func (a *duBuilder) usesInNode(n ast.Node, live map[*types.Var][]*Def) {
+	defIdents := map[*ast.Ident]bool{}
+	for _, d := range a.byNode[n] {
+		if d.Ident != nil {
+			// A plain `x = ...` LHS is a pure def; `x += ...` and `x++` read
+			// first, so their LHS ident stays a use as well.
+			pure := true
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				pure = s.Tok == token.ASSIGN || s.Tok == token.DEFINE
+			case *ast.IncDecStmt:
+				pure = false // x++ reads x first
+			}
+			if pure {
+				defIdents[d.Ident] = true
+			}
+		}
+	}
+	// A RangeStmt node lives in its header block but syntactically contains
+	// the loop body, whose statements are CFG nodes of their own — restrict
+	// the walk to the range operand.
+	if r, ok := n.(*ast.RangeStmt); ok {
+		n = r.X
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if defIdents[id] {
+			return true
+		}
+		v, ok := a.info.Uses[id].(*types.Var)
+		if !ok || v == nil || !a.locals[v] {
+			return true
+		}
+		ds := live[v]
+		if len(ds) == 0 {
+			return true
+		}
+		a.du.Uses[id] = append(a.du.Uses[id], ds...)
+		for _, d := range ds {
+			a.du.UsedBy[d] = append(a.du.UsedBy[d], id)
+		}
+		return true
+	})
+}

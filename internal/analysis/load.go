@@ -5,6 +5,15 @@ package analysis
 // (the standard library) through go/importer's source importer. The loader
 // exists so the analyzer suite can type-check the whole module offline with
 // zero dependencies beyond the Go toolchain's own source tree.
+//
+// The loader is safe for concurrent LoadDir calls: each import path is
+// type-checked exactly once behind a per-path flight, concurrent requests
+// for the same path wait on the winner, and a waits-for walk turns the
+// mutual-import deadlock (only reachable from already-illegal Go) into an
+// error instead of a hang. The standard-library source importer is not
+// documented concurrency-safe, so it sits behind its own mutex — stdlib
+// type-checking serializes, module packages and the analyzer passes over
+// them parallelize.
 
 import (
 	"errors"
@@ -18,6 +27,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Loader loads and type-checks packages of a single module.
@@ -25,9 +35,36 @@ type Loader struct {
 	Fset    *token.FileSet
 	modPath string
 	modRoot string
-	std     types.Importer
-	pkgs    map[string]*Package // import path -> loaded package
-	loading map[string]bool     // cycle detection
+
+	mu      sync.Mutex
+	flights map[string]*pkgFlight // import path -> load in progress or done
+}
+
+// The standard library never changes while a process runs, and go/importer's
+// source importer re-type-checks it from scratch per instance — by far the
+// most expensive part of a cold run (a full std walk dwarfs the module's own
+// type-check). One process-wide importer serves every Loader, so repeated
+// Run calls — the fixture tests, an editor loop, the benchmark — pay for the
+// stdlib exactly once. It owns a private FileSet: stdlib object positions
+// resolve only against that set, which is safe because diagnostics and lock
+// sites only ever point into module syntax. The source importer is not
+// documented concurrency-safe, so all access serializes behind stdImportMu —
+// stdlib type-checking serializes, module packages and the analyzer passes
+// over them parallelize.
+var (
+	stdImportMu   sync.Mutex
+	stdImportFset = token.NewFileSet()
+	stdImporter   = importer.ForCompiler(stdImportFset, "source", nil)
+)
+
+// pkgFlight is one package's load: done closes when pkg/err are final.
+// waitingOn names the import path this flight's owner is currently blocked
+// on, for deadlock detection across flights.
+type pkgFlight struct {
+	done      chan struct{}
+	pkg       *Package
+	err       error
+	waitingOn string
 }
 
 // NewLoader builds a loader for the module containing dir.
@@ -36,19 +73,36 @@ func NewLoader(dir string) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
 	return &Loader{
-		Fset:    fset,
+		Fset:    token.NewFileSet(),
 		modPath: modPath,
 		modRoot: root,
-		std:     importer.ForCompiler(fset, "source", nil),
-		pkgs:    make(map[string]*Package),
-		loading: make(map[string]bool),
+		flights: make(map[string]*pkgFlight),
 	}, nil
 }
 
 // ModuleRoot returns the directory containing go.mod.
 func (l *Loader) ModuleRoot() string { return l.modRoot }
+
+// Loaded returns every successfully loaded module package, sorted by import
+// path — the set the flow.Program indexes, including transitive
+// dependencies of the requested patterns.
+func (l *Loader) Loaded() []*Package {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var pkgs []*Package
+	for _, f := range l.flights {
+		select {
+		case <-f.done:
+			if f.err == nil {
+				pkgs = append(pkgs, f.pkg)
+			}
+		default:
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs
+}
 
 // findModule walks up from dir to the enclosing go.mod and reads its module
 // path.
@@ -76,32 +130,36 @@ func findModule(dir string) (root, modPath string, err error) {
 	}
 }
 
-// Import implements types.Importer so packages under load can resolve their
-// own dependencies: module-internal paths load recursively, everything else
-// defers to the source importer over GOROOT.
-func (l *Loader) Import(path string) (*types.Package, error) {
+// chainImporter implements types.Importer for one package under check,
+// threading the chain of in-progress import paths so same-goroutine cycles
+// are detected directly.
+type chainImporter struct {
+	l     *Loader
+	chain []string
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
+	l := c.l
 	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
-		pkg, err := l.loadPath(path)
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+		pkg, err := l.load(path, filepath.Join(l.modRoot, rel), c.chain)
 		if err != nil {
 			return nil, err
 		}
 		return pkg.Types, nil
 	}
-	return l.std.Import(path)
-}
-
-// loadPath loads a module-internal import path.
-func (l *Loader) loadPath(path string) (*Package, error) {
-	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
-	return l.LoadDir(filepath.Join(l.modRoot, rel))
+	stdImportMu.Lock()
+	defer stdImportMu.Unlock()
+	return stdImporter.Import(path)
 }
 
 // LoadDir loads and type-checks the package in dir (non-test files), parsing
 // its _test.go files syntax-only alongside. Results are cached by import
-// path, so shared dependencies type-check once.
+// path, so shared dependencies type-check once no matter how many goroutines
+// ask.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
 	dir, err := filepath.Abs(dir)
 	if err != nil {
@@ -111,15 +169,65 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	if pkg, ok := l.pkgs[path]; ok {
-		return pkg, nil
-	}
-	if l.loading[path] {
-		return nil, fmt.Errorf("analysis: import cycle through %s", path)
-	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
+	return l.load(path, dir, nil)
+}
 
+// load returns the package for an import path, joining an in-flight load or
+// owning a new one. chain holds the import paths the calling flight is in
+// the middle of loading, for cycle detection.
+func (l *Loader) load(path, dir string, chain []string) (*Package, error) {
+	for _, p := range chain {
+		if p == path {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+	}
+	l.mu.Lock()
+	if f, ok := l.flights[path]; ok {
+		// Another flight owns this path. Before waiting, walk the waits-for
+		// chain: if it leads back to a path we are loading, two flights are
+		// waiting on each other through a (necessarily illegal) mutual
+		// import — fail instead of deadlocking.
+		if len(chain) > 0 {
+			owner := chain[len(chain)-1]
+			for hop, seen := path, map[string]bool{}; hop != "" && !seen[hop]; {
+				seen[hop] = true
+				for _, p := range chain {
+					if hop == p {
+						l.mu.Unlock()
+						return nil, fmt.Errorf("analysis: import cycle through %s", path)
+					}
+				}
+				next, ok := l.flights[hop]
+				if !ok {
+					break
+				}
+				hop = next.waitingOn
+				_ = owner
+			}
+			if of, ok := l.flights[owner]; ok {
+				of.waitingOn = path
+				defer func() {
+					l.mu.Lock()
+					of.waitingOn = ""
+					l.mu.Unlock()
+				}()
+			}
+		}
+		l.mu.Unlock()
+		<-f.done
+		return f.pkg, f.err
+	}
+	f := &pkgFlight{done: make(chan struct{})}
+	l.flights[path] = f
+	l.mu.Unlock()
+
+	f.pkg, f.err = l.loadFresh(path, dir, append(chain, path))
+	close(f.done)
+	return f.pkg, f.err
+}
+
+// loadFresh parses and type-checks one package; the caller owns its flight.
+func (l *Loader) loadFresh(path, dir string, chain []string) (*Package, error) {
 	srcs, tests, err := splitGoFiles(dir)
 	if err != nil {
 		return nil, err
@@ -156,7 +264,7 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	}
 	var typeErrs []error
 	conf := types.Config{
-		Importer: l,
+		Importer: &chainImporter{l: l, chain: chain},
 		Error:    func(err error) { typeErrs = append(typeErrs, err) },
 	}
 	tpkg, _ := conf.Check(path, l.Fset, syntax, info)
@@ -168,7 +276,7 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 		return nil, fmt.Errorf("analysis: type-checking %s failed: %w", path, errors.Join(typeErrs...))
 	}
 
-	pkg := &Package{
+	return &Package{
 		Path:       path,
 		Dir:        dir,
 		Fset:       l.Fset,
@@ -176,9 +284,7 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 		TestSyntax: testSyntax,
 		Types:      tpkg,
 		Info:       info,
-	}
-	l.pkgs[path] = pkg
-	return pkg, nil
+	}, nil
 }
 
 // dirImportPath maps a directory inside the module to its import path.

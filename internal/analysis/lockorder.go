@@ -1,0 +1,305 @@
+package analysis
+
+// lockorder: the Lab's shard mutexes, the LRU's list lock, and the serve
+// pool's admission lock are all held across calls into each other's
+// packages, which is exactly how ABBA deadlocks are built — each site is
+// locally reasonable and only the composition hangs. The check extracts a
+// module-wide acquisition-order graph and reports every cycle with both
+// acquisition sites, so the reviewer sees the two halves of the deadlock in
+// one diagnostic.
+//
+// A lock class is the identity of the mutex *variable* (a struct field or a
+// package/local var): every `s.mu.Lock()` across every method of a type
+// resolves to the same field object, so order is tracked per declaration,
+// not per textual expression. Within a function, a linear source-order scan
+// maintains the held set: Lock/RLock pushes, Unlock/RUnlock pops,
+// `defer mu.Unlock()` pins the lock as held to function exit, and a return
+// drops what was not defer-pinned (branch-local locking does not leak into
+// the rest of the scan). Calls into the module propagate: holding A across
+// a call whose transitive summary acquires B adds the A→B edge at the call
+// site. Function literals are scanned as their own units with an empty held
+// set — when a closure runs is unknown, so inheriting the enclosing held
+// set could invent cycles.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mcdvfs/internal/analysis/flow"
+)
+
+// LockOrderAnalyzer builds the lockorder check.
+func LockOrderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "lockorder",
+		Doc:       "mutex acquisition order must be acyclic across the module (ABBA deadlock detector)",
+		Applies:   func(path string) bool { return strings.HasPrefix(path, "mcdvfs") },
+		RunModule: runLockOrder,
+	}
+}
+
+// lockEdge records "from was held when to was acquired", with both sites.
+type lockEdge struct {
+	from, to       *types.Var
+	fromPos, toPos token.Pos
+}
+
+type lockOrderChecker struct {
+	mp *ModulePass
+	// summaries maps every module function to the set of lock classes it
+	// (transitively) acquires.
+	summaries map[*flow.Func]map[*types.Var]bool
+	edges     []lockEdge
+}
+
+func runLockOrder(mp *ModulePass) {
+	lo := &lockOrderChecker{mp: mp}
+	lo.buildSummaries()
+	scoped := map[*types.Package]bool{}
+	for _, pkg := range mp.Pkgs {
+		scoped[pkg.Types] = true
+	}
+	for _, fn := range mp.Prog.Funcs() {
+		if !scoped[fn.Pkg.Types] {
+			continue
+		}
+		lo.scanUnits(fn.Pkg.Info, fn.Decl.Body)
+	}
+	lo.reportCycles()
+}
+
+// buildSummaries computes each function's transitively acquired lock set:
+// direct acquisitions, then a union fixpoint over static callees.
+func (lo *lockOrderChecker) buildSummaries() {
+	prog := lo.mp.Prog
+	lo.summaries = map[*flow.Func]map[*types.Var]bool{}
+	calls := map[*flow.Func][]*flow.Func{}
+	for _, fn := range prog.Funcs() {
+		acq := map[*types.Var]bool{}
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // runs at an unknown time; not this function's set
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if x, op, ok := mutexOp(fn.Pkg.Info, call); ok && (op == "Lock" || op == "RLock") {
+				if v := lockClassOf(fn.Pkg.Info, x); v != nil {
+					acq[v] = true
+				}
+			} else if callee := prog.Callee(fn.Pkg.Info, call); callee != nil {
+				calls[fn] = append(calls[fn], callee)
+			}
+			return true
+		})
+		lo.summaries[fn] = acq
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range prog.Funcs() {
+			sum := lo.summaries[fn]
+			for _, callee := range calls[fn] {
+				for v := range lo.summaries[callee] {
+					if !sum[v] {
+						sum[v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// scanUnits runs the held-set scan over a body, then over each nested
+// literal as an independent unit.
+func (lo *lockOrderChecker) scanUnits(info *types.Info, body *ast.BlockStmt) {
+	var nested []*ast.FuncLit
+	lo.scan(info, body, &nested)
+	for i := 0; i < len(nested); i++ {
+		lo.scan(info, nested[i].Body, &nested)
+	}
+}
+
+// heldLock is one entry of the scan's held set.
+type heldLock struct {
+	v        *types.Var
+	pos      token.Pos
+	deferred bool // a defer mu.Unlock() pins it to function exit
+}
+
+// scan walks body in source order maintaining the held set and emitting
+// edges. Nested literals are appended to nested, not descended into.
+func (lo *lockOrderChecker) scan(info *types.Info, body *ast.BlockStmt, nested *[]*ast.FuncLit) {
+	var held []heldLock
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			*nested = append(*nested, n)
+			return false
+		case *ast.DeferStmt:
+			// defer mu.Unlock() pins; any other deferred call is not part of
+			// this scan's order (it runs at exit).
+			if x, op, ok := mutexOp(info, n.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				if v := lockClassOf(info, x); v != nil {
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i].v == v {
+							held[i].deferred = true
+							break
+						}
+					}
+				}
+			}
+			return false
+		case *ast.ReturnStmt:
+			// A branch that returns holding only defer-pinned locks ends that
+			// path; non-pinned entries must not leak into the code below.
+			kept := held[:0]
+			for _, h := range held {
+				if h.deferred {
+					kept = append(kept, h)
+				}
+			}
+			held = kept
+			return true
+		case *ast.CallExpr:
+			if x, op, ok := mutexOp(info, n); ok {
+				v := lockClassOf(info, x)
+				if v == nil {
+					return true
+				}
+				switch op {
+				case "Lock", "RLock":
+					for _, h := range held {
+						if h.v != v {
+							lo.edges = append(lo.edges, lockEdge{from: h.v, to: v, fromPos: h.pos, toPos: n.Pos()})
+						}
+					}
+					held = append(held, heldLock{v: v, pos: n.Pos()})
+				case "Unlock", "RUnlock":
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i].v == v {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+				}
+				return true
+			}
+			if len(held) > 0 {
+				if callee := lo.mp.Prog.Callee(info, n); callee != nil {
+					for v := range lo.summaries[callee] {
+						for _, h := range held {
+							if h.v != v {
+								lo.edges = append(lo.edges, lockEdge{from: h.v, to: v, fromPos: h.pos, toPos: n.Pos()})
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// reportCycles finds mutually ordered pairs in the edge set and reports
+// each once, with both acquisition sites. Pairs (rather than full SCC
+// enumeration) cover the ABBA shape the check exists for; a longer cycle
+// always contains some function pair acquiring in both orders once
+// summaries are transitive.
+func (lo *lockOrderChecker) reportCycles() {
+	type pair struct{ a, b *types.Var }
+	first := map[pair]lockEdge{}
+	for _, e := range lo.edges {
+		k := pair{e.from, e.to}
+		if old, ok := first[k]; !ok || e.toPos < old.toPos {
+			first[k] = e
+		}
+	}
+	var reports []lockEdge
+	for k, e := range first {
+		rev, ok := first[pair{k.b, k.a}]
+		if !ok {
+			continue
+		}
+		// Report the direction whose acquisition site sorts later, once per
+		// unordered pair: the second half of the deadlock names the first.
+		if e.toPos > rev.toPos || (e.toPos == rev.toPos && lo.classLess(k.b, k.a)) {
+			reports = append(reports, e)
+		}
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].toPos < reports[j].toPos })
+	for _, e := range reports {
+		rev := first[pair{e.to, e.from}]
+		lo.mp.Reportf(e.toPos,
+			"lock order cycle: %s acquired while holding %s (held since %s), but %s is acquired while holding %s at %s",
+			lo.className(e.to), lo.className(e.from), lo.site(e.fromPos),
+			lo.className(rev.to), lo.className(rev.from), lo.site(rev.toPos))
+	}
+}
+
+func (lo *lockOrderChecker) classLess(a, b *types.Var) bool { return a.Pos() < b.Pos() }
+
+// className renders a lock class as name(file:line of its declaration).
+func (lo *lockOrderChecker) className(v *types.Var) string {
+	return fmt.Sprintf("%s(%s)", v.Name(), lo.site(v.Pos()))
+}
+
+// site renders a position as base-file:line, stable across checkouts.
+func (lo *lockOrderChecker) site(pos token.Pos) string {
+	p := lo.mp.Prog.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// mutexOp matches calls to sync.Mutex/sync.RWMutex lock methods, returning
+// the receiver expression and the method name.
+func mutexOp(info *types.Info, call *ast.CallExpr) (ast.Expr, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return nil, "", false
+	}
+	f, ok := s.Obj().(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// lockClassOf resolves a lock receiver expression to its variable identity:
+// the field object for s.mu (shared by every method), the var object for a
+// local or package mutex. nil means untracked (an element of a map, say).
+func lockClassOf(info *types.Info, x ast.Expr) *types.Var {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return v
+		}
+		if v, ok := info.Defs[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.IndexExpr:
+		// shards[i].mu unifies on the field; recurse through the index.
+		return lockClassOf(info, x.X)
+	}
+	return nil
+}

@@ -11,6 +11,11 @@ package analysis
 // is mandatory: a waiver that cannot say why it exists is a bug report.
 // Malformed or unknown-check directives are themselves diagnosed under the
 // pseudo-check "lint", so typos cannot silently disable enforcement.
+//
+// Every well-formed directive also becomes a Waiver record. The driver
+// tracks which waivers actually absorbed a raw diagnostic during the run;
+// the rest are stale — the code they excused has been fixed or moved — and
+// are reported under "lint" so dead waivers cannot quietly accumulate.
 
 import (
 	"go/ast"
@@ -20,8 +25,23 @@ import (
 
 const allowPrefix = "//lint:allow"
 
-// LintCheckName is the pseudo-check that reports malformed directives.
+// LintCheckName is the pseudo-check that reports malformed directives and
+// stale waivers.
 const LintCheckName = "lint"
+
+// Waiver is one well-formed //lint:allow directive, as listed by
+// mcdvfsvet -waivers.
+type Waiver struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Col    int    `json:"col"`
+	Check  string `json:"check"`
+	Reason string `json:"reason"`
+	// Stale is set by the driver when no raw diagnostic of Check landed in
+	// the waiver's two-line window during a run that had Check enabled over
+	// this file.
+	Stale bool `json:"stale"`
+}
 
 type allowKey struct {
 	file  string
@@ -34,9 +54,10 @@ type suppressions map[allowKey]bool
 
 // collectSuppressions scans every comment of the given files. known maps
 // valid check names; violations of the directive grammar are appended as
-// "lint" diagnostics.
-func collectSuppressions(fset *token.FileSet, files []*ast.File, known map[string]bool) (suppressions, []Diagnostic) {
+// "lint" diagnostics, and every accepted directive is returned as a Waiver.
+func collectSuppressions(fset *token.FileSet, files []*ast.File, known map[string]bool) (suppressions, []Waiver, []Diagnostic) {
 	sup := make(suppressions)
+	var waivers []Waiver
 	var bad []Diagnostic
 	report := func(pos token.Position, msg string) {
 		bad = append(bad, Diagnostic{
@@ -69,20 +90,30 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File, known map[strin
 					report(pos, "lint:allow "+check+" needs a reason — say why the finding is intentional")
 					continue
 				}
+				waivers = append(waivers, Waiver{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Check:  check,
+					Reason: strings.Join(fields[1:], " "),
+				})
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					sup[allowKey{pos.Filename, line, check}] = true
 				}
 			}
 		}
 	}
-	return sup, bad
+	return sup, waivers, bad
 }
 
-// filter drops diagnostics waived by a matching directive.
-func (s suppressions) filter(ds []Diagnostic) []Diagnostic {
+// filter drops diagnostics waived by a matching directive, marking each
+// consumed key in used (the driver's staleness evidence). used may be nil.
+func (s suppressions) filter(ds []Diagnostic, used map[allowKey]bool) []Diagnostic {
 	out := ds[:0]
 	for _, d := range ds {
-		if s[allowKey{d.File, d.Line, d.Check}] {
+		key := allowKey{d.File, d.Line, d.Check}
+		if s[key] {
+			if used != nil {
+				used[key] = true
+			}
 			continue
 		}
 		out = append(out, d)

@@ -1,0 +1,79 @@
+// Package errflowfix exercises the errflow check: every error result must
+// be checked, returned, or visibly discarded with _ =.
+package errflowfix
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func work() error { return nil }
+
+// Dropped discards the error implicitly: reported.
+func Dropped() {
+	work()
+}
+
+// DeferDropped drops a deferred call's error: reported.
+func DeferDropped(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+}
+
+// Stale assigns a fresh error and never reads it again — the function
+// returns the earlier success path instead: reported at the assignment.
+func Stale(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write([]byte("x"))
+	return f.Close()
+}
+
+// Waived: a best-effort call carries its reason.
+func Waived() {
+	//lint:allow errflow best-effort cache warm; a miss only costs latency
+	work()
+}
+
+// Discarded makes the drop visible: clean.
+func Discarded() {
+	_ = work()
+}
+
+// Checked branches on the error: clean.
+func Checked() error {
+	if err := work(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Returned hands the error to the caller: clean.
+func Returned() error {
+	return work()
+}
+
+// Printed: the fmt print family is exempt by idiom: clean.
+func Printed() {
+	fmt.Println("status")
+}
+
+// Build: strings.Builder writes are documented to never fail: clean.
+func Build() string {
+	var b strings.Builder
+	b.WriteString("x")
+	return b.String()
+}
+
+// NamedResult assigns to a named error result, which is live at every
+// return by construction: clean.
+func NamedResult() (err error) {
+	err = work()
+	return
+}

@@ -1,0 +1,102 @@
+// Package goleakfix exercises the goleak check: every goroutine launched in
+// the long-running packages needs a visible termination contract — a
+// WaitGroup joined on every path, a channel the launcher drains, a bounded
+// local buffer, or a context bound inside the body.
+package goleakfix
+
+import (
+	"context"
+	"sync"
+)
+
+// leaky launches a goroutine with no join of any kind: reported.
+func leaky() {
+	go func() {
+		_ = 1 + 1
+	}()
+}
+
+// skippedWait signals Done but the fast path returns before Wait, so the
+// join can be skipped: reported.
+func skippedWait(fast bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	if fast {
+		return
+	}
+	wg.Wait()
+}
+
+// dynamic launches through a function value; the body is invisible to the
+// analysis: reported.
+func dynamic(f func()) {
+	go f()
+}
+
+// waived: a deliberately process-lifetime goroutine carries its reason.
+func waived() {
+	//lint:allow goleak metrics flusher is process-lifetime by design
+	go func() {
+		_ = 2 * 2
+	}()
+}
+
+// joined waits on every path from the launch: clean.
+func joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// worker signals through its parameter; the evidence maps back to the
+// launcher's argument.
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+// joinedNamed launches a named callee and joins it: clean.
+func joinedNamed() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+}
+
+// Handoff sends exactly once on a locally made buffered channel: the send
+// can never block, so a conditional receive is fine (the errCh-under-select
+// pattern): clean.
+func Handoff(ctx context.Context) error {
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- nil
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CtxBound ties the goroutine's lifetime to a context: clean.
+func CtxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// externalChan sends on a caller-owned channel; the consumer lives
+// elsewhere, so this launcher is not the one leaking: clean.
+func externalChan(out chan<- int) {
+	go func() {
+		out <- 1
+	}()
+}

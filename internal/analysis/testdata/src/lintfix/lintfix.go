@@ -14,5 +14,11 @@ package lintfix
 //
 //lint:allow
 
+// A well-formed waiver with nothing left to suppress: the comparison it
+// excused was fixed without deleting the directive. want: stale lint hit.
+//
+//lint:allow floateq this comparison was fixed long ago
+const Fixed = 1.0
+
 // Value exists so the package has a declaration.
 const Value = 1

@@ -1,0 +1,91 @@
+// Package lockorderfix exercises the lockorder check: mutexes acquired in
+// both orders somewhere in the module form an ABBA deadlock, reported once
+// per pair with both acquisition sites.
+package lockorderfix
+
+import "sync"
+
+var (
+	a sync.Mutex
+	b sync.Mutex
+	c sync.Mutex
+	d sync.Mutex
+	e sync.Mutex
+	f sync.Mutex
+)
+
+// LockAB acquires a then b: one half of the cycle.
+func LockAB() {
+	a.Lock()
+	defer a.Unlock()
+	b.Lock()
+	defer b.Unlock()
+}
+
+// LockBA acquires b then a: with LockAB this is the ABBA pair, reported
+// here (the later of the two sites names the earlier one).
+func LockBA() {
+	b.Lock()
+	defer b.Unlock()
+	a.Lock()
+	defer a.Unlock()
+}
+
+// lockF is a helper whose summary acquires f.
+func lockF() {
+	f.Lock()
+	defer f.Unlock()
+}
+
+// TransitiveEF holds e across a call that acquires f: the e-before-f edge
+// comes from the callee's summary, not a literal Lock in this body.
+func TransitiveEF() {
+	e.Lock()
+	defer e.Unlock()
+	lockF()
+}
+
+// DirectFE completes the interprocedural cycle: reported.
+func DirectFE() {
+	f.Lock()
+	defer f.Unlock()
+	e.Lock()
+	defer e.Unlock()
+}
+
+// LockCD and WaivedShutdown form a cycle too, but the reversal is a
+// deliberate single-threaded teardown path and carries its waiver.
+func LockCD() {
+	c.Lock()
+	defer c.Unlock()
+	d.Lock()
+	defer d.Unlock()
+}
+
+func WaivedShutdown() {
+	d.Lock()
+	defer d.Unlock()
+	//lint:allow lockorder teardown runs single-threaded after the pool drains
+	c.Lock()
+	defer c.Unlock()
+}
+
+// Sequential releases before the next acquisition: no edge, clean.
+func Sequential() {
+	a.Lock()
+	a.Unlock()
+	b.Lock()
+	b.Unlock()
+}
+
+// BranchLocal returns while holding only the branch's lock; the held set
+// must not leak past the return into the b.Lock below: clean.
+func BranchLocal(cond bool) {
+	if cond {
+		b.Lock()
+		defer b.Unlock()
+		return
+	}
+	a.Lock()
+	a.Unlock()
+}

@@ -51,3 +51,43 @@ func WaivedMix(aMHz, bHz float64) float64 {
 	//lint:allow units fixture demonstrates a reasoned waiver
 	return aMHz + bHz
 }
+
+// CPUConf exposes a core clock whose unit lives only in the getter's name,
+// the shape the propagation layers exist for.
+type CPUConf struct{ clock float64 }
+
+// GHz returns the core clock in gigahertz.
+func (c CPUConf) GHz() float64 { return c.clock }
+
+// WaitNS stands in for a sink whose parameter name carries the unit.
+func WaitNS(dNS float64) float64 { return dNS }
+
+// Propagated is the old-miss/new-catch case: f has no unit suffix, so
+// suffix matching alone sees nothing, but its definition makes it GHz and
+// WaitNS wants nanoseconds. want: units hit at the call argument.
+func Propagated(c CPUConf) float64 {
+	f := c.GHz()
+	return WaitNS(f) // want units: f (GHz) passed to dNS
+}
+
+// BadPeriodNS promises nanoseconds by name and returns a frequency.
+// want: units hit at the return.
+func BadPeriodNS(c CPUConf) float64 {
+	f := c.GHz()
+	return f // want units: returning f (GHz) where result is ns
+}
+
+// DerivedPeriod divides through the propagated frequency, forming a derived
+// unit the checker leaves alone: clean.
+func DerivedPeriod(c CPUConf) float64 {
+	f := c.GHz()
+	return 1.0 / f
+}
+
+// WaivedPropagation waives the interprocedural finding with a reason:
+// suppressed.
+func WaivedPropagation(c CPUConf) float64 {
+	f := c.GHz()
+	//lint:allow units fixture waives a propagated finding
+	return WaitNS(f)
+}

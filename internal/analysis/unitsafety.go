@@ -24,12 +24,35 @@ package analysis
 // Dimensionless ratios (activity factors, hit rates, write fractions) carry
 // no unit on purpose, so scaling a latency by a fraction never trips the
 // check.
+//
+// On top of the expression rules sit three propagation layers, built on the
+// flow package's module-wide function index:
+//
+//   - summaries: every declared function in the module gets a syntactic unit
+//     signature — parameter units from the parameter's named type or name
+//     suffix, result units from the result type, result name, or (single
+//     result) the function's own name suffix. dev.RowHitNS is nanoseconds by
+//     name from any calling package.
+//   - local env: inside one function, a suffix-less variable defined from a
+//     united expression inherits that unit (f := cfg.CPU.GHz() makes f
+//     gigahertz), so long as every definition of the variable agrees; a
+//     variable defined with two different units infers nothing rather than
+//     guessing. The inference is one sweep, not a fixpoint — a chain of two
+//     unsuffixed copies goes untracked, which errs on silence, never on a
+//     false mismatch.
+//   - call and return checks: arguments are checked against the callee
+//     summary's parameter units, and return statements against the enclosing
+//     function's result units. This is what catches the cross-boundary bug:
+//     the GHz value built in experiments and consumed by a *NS parameter in
+//     sim never shared a file, let alone a line.
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
 	"strings"
+
+	"mcdvfs/internal/analysis/flow"
 )
 
 var unitPkgs = map[string]bool{
@@ -100,29 +123,292 @@ func typeUnit(t types.Type) string {
 	return suffixUnit(named.Obj().Name())
 }
 
+// unitSummary is one function's syntactic unit signature.
+type unitSummary struct {
+	params   []string // unit per parameter, "" = untracked
+	pnames   []string // parameter names, for diagnostics
+	variadic bool
+	results  []string // unit per result, "" = untracked
+}
+
+// unitState carries the Prepare-computed summaries into the concurrent
+// per-package passes. Written once in prepare, read-only afterwards.
+type unitState struct {
+	summaries map[*types.Func]*unitSummary
+}
+
 // UnitSafetyAnalyzer builds the units check.
 func UnitSafetyAnalyzer() *Analyzer {
+	st := &unitState{}
 	return &Analyzer{
 		Name:    "units",
-		Doc:     "flag additive mixing or assignment across different declared unit suffixes (MHz vs Hz, J vs W, ...)",
+		Doc:     "flag unit mixing (MHz vs Hz, J vs W, ...) in expressions, assignments, calls, and returns, with propagation through locals and call boundaries",
 		Applies: func(path string) bool { return unitPkgs[path] },
-		Run:     runUnitSafety,
+		Prepare: st.prepare,
+		Run:     st.run,
 	}
 }
 
-func runUnitSafety(pass *Pass) {
-	u := &unitChecker{pass: pass}
-	for _, f := range pass.Pkg.Syntax {
-		ast.Inspect(f, u.visit)
+// prepare summarizes every declared function in the module in one pass over
+// the Program's index.
+func (st *unitState) prepare(prog *flow.Program) {
+	st.summaries = make(map[*types.Func]*unitSummary, len(prog.Funcs()))
+	for _, fn := range prog.Funcs() {
+		sum := summarize(fn.Pkg.Info, fn.Decl.Type, fn.Decl.Name.Name)
+		if sum != nil {
+			st.summaries[fn.Obj] = sum
+		}
 	}
+}
+
+// summarize builds the unit signature of one function type. fallbackName is
+// the function's own name, consulted for a lone anonymous result. Returns
+// nil when no position carries a unit — most functions, kept out of the map.
+func summarize(info *types.Info, ft *ast.FuncType, fallbackName string) *unitSummary {
+	sum := &unitSummary{}
+	any := false
+	if ft.Params != nil {
+		for _, f := range ft.Params.List {
+			_, variadic := f.Type.(*ast.Ellipsis)
+			sum.variadic = sum.variadic || variadic
+			tu := ""
+			if tv, ok := info.Types[f.Type]; ok && tv.Type != nil {
+				tu = typeUnit(tv.Type)
+			}
+			names := f.Names
+			if len(names) == 0 {
+				sum.params = append(sum.params, tu)
+				sum.pnames = append(sum.pnames, "_")
+				any = any || tu != ""
+				continue
+			}
+			for _, name := range names {
+				unit := tu
+				if unit == "" {
+					unit = suffixUnit(name.Name)
+				}
+				sum.params = append(sum.params, unit)
+				sum.pnames = append(sum.pnames, name.Name)
+				any = any || unit != ""
+			}
+		}
+	}
+	sum.results = resultUnits(info, ft, fallbackName)
+	for _, r := range sum.results {
+		any = any || r != ""
+	}
+	if !any {
+		return nil
+	}
+	return sum
+}
+
+// resultUnits resolves the unit of each result position: result type, then
+// result name, then the function's own name for the single value result.
+// The name fallback covers both `func RowHitNS() float64` and the
+// (value, error) accessor shape — BackgroundPowerW's float64 is watts even
+// though an error rides along.
+func resultUnits(info *types.Info, ft *ast.FuncType, fallbackName string) []string {
+	if ft.Results == nil {
+		return nil
+	}
+	var units []string
+	var nonErr []int // indices of results that are not type error
+	add := func(unit string, typ ast.Expr) {
+		isErr := false
+		if tv, ok := info.Types[typ]; ok && tv.Type != nil {
+			isErr = tv.Type.String() == "error"
+		}
+		if !isErr {
+			nonErr = append(nonErr, len(units))
+		}
+		units = append(units, unit)
+	}
+	for _, f := range ft.Results.List {
+		tu := ""
+		if tv, ok := info.Types[f.Type]; ok && tv.Type != nil {
+			tu = typeUnit(tv.Type)
+		}
+		if len(f.Names) == 0 {
+			add(tu, f.Type)
+			continue
+		}
+		for _, name := range f.Names {
+			unit := tu
+			if unit == "" {
+				unit = suffixUnit(name.Name)
+			}
+			add(unit, f.Type)
+		}
+	}
+	if len(nonErr) == 1 && units[nonErr[0]] == "" && fallbackName != "" {
+		units[nonErr[0]] = suffixUnit(fallbackName)
+	}
+	return units
+}
+
+func (st *unitState) run(pass *Pass) {
+	u := &unitChecker{pass: pass, summaries: st.summaries}
+	for _, f := range pass.Pkg.Syntax {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				u.env = buildUnitEnv(pass.Pkg.Info, fd.Body, u)
+				u.curResults = resultUnits(pass.Pkg.Info, fd.Type, fd.Name.Name)
+				ast.Inspect(fd, u.visit)
+				u.env, u.curResults = nil, nil
+				continue
+			}
+			ast.Inspect(decl, u.visit)
+		}
+	}
+}
+
+// buildUnitEnv infers units for suffix-less locals from their definitions.
+// A variable whose definitions disagree is removed — no inference beats a
+// wrong one. The sweep repeats, each round reading only the previous
+// round's env, until the env stabilizes (or a small cap): chains like
+// bg := m.BackgroundPowerW(f); e := bg * durationNS resolve in order-
+// independent fashion, and e correctly infers nothing once bg is known to
+// be watts (W·ns is a derived unit the checker does not track).
+func buildUnitEnv(info *types.Info, body *ast.BlockStmt, u *unitChecker) map[*types.Var]string {
+	var env map[*types.Var]string
+	for range [4]int{} {
+		u.env = env
+		next := sweepUnitEnv(info, body, u)
+		if envEqual(env, next) {
+			break
+		}
+		env = next
+	}
+	u.env = nil
+	return env
+}
+
+func envEqual(a, b map[*types.Var]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// sweepUnitEnv is one inference round; unitOf lookups inside it see only the
+// env installed by the caller.
+func sweepUnitEnv(info *types.Info, body *ast.BlockStmt, u *unitChecker) map[*types.Var]string {
+	env := map[*types.Var]string{}
+	conflict := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || (as.Tok != token.DEFINE && as.Tok != token.ASSIGN) {
+			return true
+		}
+		// A tuple-call define (bg, err := m.BackgroundPowerW(f)) maps each
+		// LHS to the callee summary's result units.
+		if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := flow.CalleeObj(info, call)
+			if obj == nil {
+				return true
+			}
+			sum := u.summaries[obj]
+			if sum == nil || len(sum.results) != len(as.Lhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" || sum.results[i] == "" {
+					continue
+				}
+				obj := localVarOf(info, id)
+				if obj == nil || typeUnit(obj.Type()) != "" || suffixUnit(id.Name) != "" {
+					continue
+				}
+				if prev, ok := env[obj]; ok && prev != sum.results[i] {
+					conflict[obj] = true
+					continue
+				}
+				env[obj] = sum.results[i]
+			}
+			return true
+		}
+		if len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := localVarOf(info, id)
+			if obj == nil {
+				continue
+			}
+			// A variable that already carries a unit by type or name needs no
+			// inference; the mismatch checks handle it directly.
+			if typeUnit(obj.Type()) != "" || suffixUnit(id.Name) != "" {
+				continue
+			}
+			unit := u.unitOf(as.Rhs[i])
+			if unit == "" {
+				continue
+			}
+			if prev, ok := env[obj]; ok && prev != unit {
+				conflict[obj] = true
+				continue
+			}
+			env[obj] = unit
+		}
+		return true
+	})
+	for v := range conflict {
+		delete(env, v)
+	}
+	return env
+}
+
+// localVarOf resolves an assignment LHS identifier to a function-local
+// variable, defining or plain.
+func localVarOf(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok && v != nil && !v.IsField() {
+		return v
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok && v != nil && !v.IsField() && v.Parent() != v.Pkg().Scope() {
+		return v
+	}
+	return nil
 }
 
 type unitChecker struct {
-	pass *Pass
+	pass      *Pass
+	summaries map[*types.Func]*unitSummary
+	// env maps suffix-less locals of the current function to inferred units.
+	env map[*types.Var]string
+	// curResults are the enclosing function's result units, for returns.
+	curResults []string
 }
 
 func (u *unitChecker) visit(n ast.Node) bool {
 	switch n := n.(type) {
+	case *ast.FuncLit:
+		// A literal's returns answer to its own signature, not the enclosing
+		// function's; walk the body with swapped result context. The env
+		// stays — closures read captured locals.
+		saved := u.curResults
+		u.curResults = resultUnits(u.pass.Pkg.Info, n.Type, "")
+		ast.Inspect(n.Body, u.visit)
+		u.curResults = saved
+		return false
+	case *ast.ReturnStmt:
+		u.checkReturn(n)
+	case *ast.CallExpr:
+		u.checkCall(n)
 	case *ast.BinaryExpr:
 		switch n.Op {
 		case token.ADD, token.SUB,
@@ -175,6 +461,58 @@ func (u *unitChecker) visit(n ast.Node) bool {
 	return true
 }
 
+// checkCall compares each argument's unit against the callee summary's
+// parameter unit. Only statically resolved module functions have summaries;
+// dynamic calls and stdlib calls check nothing.
+func (u *unitChecker) checkCall(call *ast.CallExpr) {
+	obj := flow.CalleeObj(u.pass.Pkg.Info, call)
+	if obj == nil {
+		return
+	}
+	sum := u.summaries[obj]
+	if sum == nil || call.Ellipsis.IsValid() {
+		return
+	}
+	n := len(sum.params)
+	if sum.variadic {
+		n-- // the variadic tail fans out over one summary slot; skip it
+	}
+	if len(call.Args) < n {
+		n = len(call.Args)
+	}
+	for i := 0; i < n; i++ {
+		pu := sum.params[i]
+		if pu == "" {
+			continue
+		}
+		au := u.unitOf(call.Args[i])
+		if au != "" && au != pu {
+			u.pass.Reportf(call.Args[i].Pos(),
+				"unit mismatch: %s (%s) passed to parameter %s of %s, which expects %s",
+				render(call.Args[i]), au, sum.pnames[i], obj.Name(), pu)
+		}
+	}
+}
+
+// checkReturn compares returned expressions against the enclosing
+// function's result units.
+func (u *unitChecker) checkReturn(ret *ast.ReturnStmt) {
+	if len(ret.Results) == 0 || len(ret.Results) != len(u.curResults) {
+		return
+	}
+	for i, e := range ret.Results {
+		want := u.curResults[i]
+		if want == "" {
+			continue
+		}
+		got := u.unitOf(e)
+		if got != "" && got != want {
+			u.pass.Reportf(e.Pos(), "unit mismatch: returning %s (%s) where the result is %s",
+				render(e), got, want)
+		}
+	}
+}
+
 // fieldUnit resolves the unit of a struct field from its type, then its
 // name.
 func (u *unitChecker) fieldUnit(key *ast.Ident) string {
@@ -204,7 +542,20 @@ func (u *unitChecker) unitOf(e ast.Expr) string {
 				return unit
 			}
 		}
-		return suffixUnit(e.Name)
+		if unit := suffixUnit(e.Name); unit != "" {
+			return unit
+		}
+		// Last resort: the local-inference env (f := cfg.CPU.GHz() makes a
+		// suffix-less f gigahertz for the rest of the function).
+		if u.env != nil {
+			if v, ok := info.Uses[e].(*types.Var); ok {
+				return u.env[v]
+			}
+			if v, ok := info.Defs[e].(*types.Var); ok {
+				return u.env[v]
+			}
+		}
+		return ""
 	case *ast.SelectorExpr:
 		if tv, ok := info.Types[e]; ok && tv.Type != nil {
 			if unit := typeUnit(tv.Type); unit != "" {

@@ -45,7 +45,7 @@ func TestSuffixUnit(t *testing.T) {
 // TestSuiteNamesStable pins the check names: they are the -disable and
 // //lint:allow vocabulary, so renaming one silently orphans every waiver.
 func TestSuiteNamesStable(t *testing.T) {
-	want := []string{"determinism", "units", "floateq", "ctx", "lockcopy"}
+	want := []string{"determinism", "units", "floateq", "ctx", "lockcopy", "goleak", "lockorder", "errflow"}
 	suite := Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d checks, want %d", len(suite), len(want))
@@ -54,8 +54,39 @@ func TestSuiteNamesStable(t *testing.T) {
 		if a.Name != want[i] {
 			t.Errorf("check %d named %q, want %q", i, a.Name, want[i])
 		}
-		if a.Doc == "" || a.Applies == nil || a.Run == nil {
-			t.Errorf("check %q is missing Doc, Applies, or Run", a.Name)
+		if a.Doc == "" || a.Applies == nil {
+			t.Errorf("check %q is missing Doc or Applies", a.Name)
 		}
+		if a.Run == nil && a.RunModule == nil {
+			t.Errorf("check %q has neither Run nor RunModule", a.Name)
+		}
+	}
+}
+
+// TestUnitsPropagationCatchesSuffixless is the old-miss/new-catch proof for
+// the propagation layers: the identifier the fixture's Propagated function
+// passes to WaitNS is a bare "f" — suffix matching alone resolves it to no
+// unit at all — yet the golden file (unitfix.golden:70) pins the GHz→ns
+// mismatch at that call site. The unit the checker reports can only have
+// arrived through the local env and the callee summary.
+func TestUnitsPropagationCatchesSuffixless(t *testing.T) {
+	if got := suffixUnit("f"); got != "" {
+		t.Fatalf("suffixUnit(%q) = %q; the fixture's propagation case would be trivial", "f", got)
+	}
+	diags, err := Run(Options{
+		Patterns: []string{"./testdata/src/unitfix"},
+		ScopeAll: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Check == "units" && d.Line == 70 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no units diagnostic at unitfix.go:70 — interprocedural propagation regressed")
 	}
 }

@@ -136,28 +136,31 @@ func gridKeyHash(cfg sim.Config, space *freq.Space) string {
 // are walked in declaration order, and map entries are emitted in sorted
 // order, so identical configurations always produce identical bytes.
 func fingerprint(w io.Writer, v reflect.Value) {
+	// Fingerprints only ever target hash.Hash and strings.Builder, neither
+	// of which can fail a write; the discard is explicit so the intent is.
+	emit := func(s string) { _, _ = io.WriteString(w, s) }
 	switch v.Kind() {
 	case reflect.Pointer, reflect.Interface:
 		if v.IsNil() {
-			io.WriteString(w, "nil")
+			emit("nil")
 			return
 		}
-		io.WriteString(w, "&")
+		emit("&")
 		fingerprint(w, v.Elem())
 	case reflect.Struct:
 		fmt.Fprintf(w, "%s{", v.Type().Name())
 		for i := 0; i < v.NumField(); i++ {
 			fingerprint(w, v.Field(i))
-			io.WriteString(w, ";")
+			emit(";")
 		}
-		io.WriteString(w, "}")
+		emit("}")
 	case reflect.Slice, reflect.Array:
-		io.WriteString(w, "[")
+		emit("[")
 		for i := 0; i < v.Len(); i++ {
 			fingerprint(w, v.Index(i))
-			io.WriteString(w, ";")
+			emit(";")
 		}
-		io.WriteString(w, "]")
+		emit("]")
 	case reflect.Map:
 		entries := make([]string, 0, v.Len())
 		iter := v.MapRange()
@@ -213,6 +216,7 @@ func (d diskCache) load(path, bench string, space *freq.Space) *trace.Grid {
 	if err != nil {
 		return nil
 	}
+	//lint:allow errflow read-only file; a close error after a successful read carries no data loss
 	defer f.Close()
 	g, err := trace.ReadJSON(f)
 	if err != nil {
@@ -239,9 +243,10 @@ func (d diskCache) store(path string, g *trace.Grid) error {
 	if err != nil {
 		return err
 	}
+	//lint:allow errflow best-effort cleanup; after the rename succeeds the temp file is already gone
 	defer os.Remove(tmp.Name())
 	if err := g.WriteJSON(tmp); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the write error takes precedence
 		return err
 	}
 	if err := tmp.Close(); err != nil {
