@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: verify race lint bench loadtest all
+.PHONY: verify race lint bench bench-vet loadtest all
 
 all: verify
 
@@ -30,3 +30,11 @@ loadtest:
 # Collection-engine speedup record: serial vs parallel fine-space sweeps.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCollect' -benchmem .
+
+# Analyzer benchmark record: the full mcdvfsvet suite (BenchmarkVet) and
+# the isolated abstract-interpretation tier (BenchmarkAbsint — rangecheck,
+# nilflow, and the purity-summary determinism prep), each serial vs
+# parallel, captured as BENCH_vet.json for regression tracking.
+bench-vet:
+	$(GO) test ./internal/analysis -run '^$$' -bench 'BenchmarkVet|BenchmarkAbsint' -benchmem \
+		| $(GO) run ./cmd/benchjson -out BENCH_vet.json

@@ -1,7 +1,13 @@
 // Command mcdvfsvet runs the repository's domain-invariant analyzer suite
-// (internal/analysis): determinism, interprocedural unit safety, float
+// (internal/analysis): determinism (including purity summaries that trace
+// entropy through helper calls), interprocedural unit safety, float
 // equality, context discipline, lock hygiene, goroutine-leak, lock-order,
-// and error-flow checks. It is the `make lint` tier of `make verify`.
+// error-flow, and the abstract-interpretation checks — rangecheck
+// (interval analysis: zero-capable divisors, negative physical quantities
+// at call boundaries, provably out-of-range table indices) and nilflow
+// (nil-ness analysis: nil map writes, nil dereferences reachable on some
+// path, nil arguments to parameters the callee dereferences). It is the
+// `make lint` tier of `make verify`.
 //
 // Usage:
 //

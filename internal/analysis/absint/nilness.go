@@ -1,0 +1,417 @@
+package absint
+
+// The nil-ness domain tracks whether a map, pointer, slice, func, chan, or
+// interface value can be nil at a program point. Like the interval domain it
+// runs on evidence: NilUnknown is top and produces no findings; a fact only
+// becomes NilIsNil or NilMaybe when the source shows a nil flowing in — a
+// declared-but-never-made map, a literal nil assignment, a branch that
+// tested x == nil and took the true edge.
+//
+// The join is deliberately evidence-preserving on one axis: joining IsNil
+// with Unknown gives Maybe, not Unknown. One path demonstrably carries nil;
+// forgetting that at the merge is how the classic "nil map write after the
+// early-return initializer" escapes per-path checkers. Joining NonNil with
+// Unknown stays Unknown — "initialized on one path" is not evidence about
+// the other.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mcdvfs/internal/analysis/flow"
+)
+
+// Nilness is one nil-ness fact.
+type Nilness uint8
+
+const (
+	// NilUnknown is top: no evidence either way.
+	NilUnknown Nilness = iota
+	// NilMaybe: at least one path carries nil, at least one may not.
+	NilMaybe
+	// NilIsNil: nil on every path seen so far.
+	NilIsNil
+	// NilNonNil: provably non-nil (allocated, refined by a guard).
+	NilNonNil
+)
+
+func (n Nilness) String() string {
+	switch n {
+	case NilMaybe:
+		return "maybe-nil"
+	case NilIsNil:
+		return "nil"
+	case NilNonNil:
+		return "non-nil"
+	}
+	return "unknown"
+}
+
+// MayBeNil reports facts that should trigger a nil-flow finding at a
+// dereference or map write: definite nil or nil-on-some-path.
+func (n Nilness) MayBeNil() bool { return n == NilIsNil || n == NilMaybe }
+
+// NilLattice implements Lattice[Nilness]. The domain is finite, so widening
+// is join and narrowing adopts the recomputed value.
+type NilLattice struct{}
+
+func (NilLattice) Join(a, b Nilness) Nilness {
+	if a == b {
+		return a
+	}
+	switch {
+	case a == NilUnknown && b == NilNonNil, a == NilNonNil && b == NilUnknown:
+		return NilUnknown
+	case a == NilIsNil || b == NilIsNil, a == NilMaybe || b == NilMaybe:
+		return NilMaybe
+	}
+	return NilUnknown
+}
+
+func (l NilLattice) Widen(prev, next Nilness) Nilness { return l.Join(prev, next) }
+func (NilLattice) Narrow(prev, next Nilness) Nilness  { return next }
+func (NilLattice) Equal(a, b Nilness) bool            { return a == b }
+
+// NilEval evaluates expressions and drives transfer/refinement for the
+// nil-ness domain. Call lets the caller supply summaries for statically
+// resolved calls (constructors that always return non-nil, passthroughs that
+// return a nil parameter); VarSeed covers parameters whose callers are known
+// to pass nil.
+type NilEval struct {
+	Info    *types.Info
+	VarSeed func(v *types.Var) (Nilness, bool)
+	Call    func(call *ast.CallExpr) (Nilness, bool)
+}
+
+// Interp wraps the evaluator as a fixpoint driver.
+func (ev *NilEval) Interp() *Interp[Nilness] {
+	return &Interp[Nilness]{
+		Lat:      NilLattice{},
+		Transfer: ev.Transfer,
+		Refine:   ev.Refine,
+	}
+}
+
+// Nilable reports whether t can hold nil at all.
+func Nilable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Map, *types.Pointer, *types.Slice, *types.Signature,
+		*types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// Expr evaluates e's nil-ness under env.
+func (ev *NilEval) Expr(e ast.Expr, env *Env[Nilness]) Nilness {
+	if e == nil {
+		return NilUnknown
+	}
+	if tv, ok := ev.Info.Types[e]; ok && tv.IsNil() {
+		return NilIsNil
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return ev.Expr(e.X, env)
+	case *ast.Ident:
+		if v, ok := objVar(ev.Info, e); ok {
+			if n, ok := env.Var(v); ok {
+				return n
+			}
+			if ev.VarSeed != nil {
+				if n, ok := ev.VarSeed(v); ok {
+					return n
+				}
+			}
+		}
+		return NilUnknown
+	case *ast.SelectorExpr:
+		if path, _, ok := PathOf(ev.Info, e); ok {
+			if n, ok := env.Path(path); ok {
+				return n
+			}
+		}
+		return NilUnknown
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return NilNonNil // &x is always a valid pointer
+		}
+		return NilUnknown
+	case *ast.CompositeLit, *ast.FuncLit:
+		return NilNonNil
+	case *ast.CallExpr:
+		return ev.callExpr(e, env)
+	case *ast.SliceExpr:
+		// s[i:j] of a non-nil slice stays non-nil; of unknown stays unknown.
+		return ev.Expr(e.X, env)
+	}
+	return NilUnknown
+}
+
+func (ev *NilEval) callExpr(call *ast.CallExpr, env *Env[Nilness]) Nilness {
+	switch builtinName(ev.Info, call) {
+	case "make", "new":
+		return NilNonNil
+	case "append":
+		// append with elements always allocates or keeps a non-nil base; a
+		// bare append(x) preserves x.
+		if len(call.Args) > 1 || call.Ellipsis.IsValid() {
+			return NilNonNil
+		}
+		if len(call.Args) == 1 {
+			return ev.Expr(call.Args[0], env)
+		}
+		return NilUnknown
+	case "":
+		// Conversions preserve nil-ness of the operand for nilable targets.
+		if tv, ok := ev.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			return ev.Expr(call.Args[0], env)
+		}
+		if ev.Call != nil {
+			if n, ok := ev.Call(call); ok {
+				return n
+			}
+		}
+	}
+	return NilUnknown
+}
+
+// Transfer applies one CFG node's effect to env in place.
+func (ev *NilEval) Transfer(n ast.Node, env *Env[Nilness]) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		ev.assign(n, env)
+	case *ast.DeclStmt:
+		ev.declare(n, env)
+	case *ast.RangeStmt:
+		// Key/value are redefined per iteration with untracked element
+		// values; ranging itself proves nothing about X (range over a nil
+		// slice or map is legal and empty).
+		ev.clobberEsc(n, env)
+		if id, ok := n.Key.(*ast.Ident); ok {
+			ev.writeIdent(id, NilUnknown, env)
+		}
+		if id, ok := n.Value.(*ast.Ident); ok {
+			ev.writeIdent(id, NilUnknown, env)
+		}
+	default:
+		ev.clobberEsc(n, env)
+	}
+}
+
+func (ev *NilEval) assign(as *ast.AssignStmt, env *Env[Nilness]) {
+	if as.Tok != token.DEFINE && as.Tok != token.ASSIGN {
+		return // op-assigns are numeric; nothing nilable
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		vals := make([]Nilness, len(as.Rhs))
+		for i, r := range as.Rhs {
+			vals[i] = ev.Expr(r, env)
+		}
+		ev.clobberEsc(as, env)
+		for i, l := range as.Lhs {
+			ev.write(l, vals[i], env)
+		}
+		return
+	}
+	// Tuple assignment. The comma-ok map read (v, ok := m[k]) and the
+	// two-value type assertion produce untracked values; calls consult the
+	// summary hook only for single results, so clobber here.
+	ev.clobberEsc(as, env)
+	for _, l := range as.Lhs {
+		ev.write(l, NilUnknown, env)
+	}
+}
+
+// declare seeds the classic finding: `var m map[K]V` (no initializer) is
+// definitely nil, and a later m[k] = v panics.
+func (ev *NilEval) declare(d *ast.DeclStmt, env *Env[Nilness]) {
+	gd, ok := d.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	ev.clobberEsc(d, env)
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if i < len(vs.Values) {
+				ev.writeIdent(name, ev.Expr(vs.Values[i], env), env)
+				continue
+			}
+			if len(vs.Values) > 0 {
+				continue
+			}
+			v, ok := objVar(ev.Info, name)
+			if ok && Nilable(v.Type()) {
+				env.Vars[v] = NilIsNil
+			}
+		}
+	}
+}
+
+// write stores a fact at an assignable destination.
+func (ev *NilEval) write(lhs ast.Expr, val Nilness, env *Env[Nilness]) {
+	switch l := unparen(lhs).(type) {
+	case *ast.Ident:
+		ev.writeIdent(l, val, env)
+	case *ast.SelectorExpr:
+		path, _, ok := PathOf(ev.Info, l)
+		if !ok {
+			return
+		}
+		nilInvalidatePrefix(env, path)
+		if val != NilUnknown {
+			env.Paths[path] = val
+		}
+	case *ast.StarExpr:
+		nilInvalidateDotted(env)
+	}
+}
+
+func (ev *NilEval) writeIdent(id *ast.Ident, val Nilness, env *Env[Nilness]) {
+	if id.Name == "_" {
+		return
+	}
+	v, ok := objVar(ev.Info, id)
+	if !ok {
+		return
+	}
+	nilInvalidateRoot(env, id.Name)
+	if val != NilUnknown {
+		env.Vars[v] = val
+	} else {
+		delete(env.Vars, v)
+	}
+}
+
+// clobberEsc drops facts that calls or escapes can change, mirroring the
+// interval domain's rules: opaque calls kill dotted paths, &x and closure
+// mutation kill the variable's own fact.
+func (ev *NilEval) clobberEsc(n ast.Node, env *Env[Nilness]) {
+	header := flow.HeaderExpr(n)
+	if header == nil {
+		return
+	}
+	ast.Inspect(header, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			if isOpaqueCall(ev.Info, m) {
+				nilInvalidateDotted(env)
+			}
+			return true
+		case *ast.UnaryExpr:
+			if m.Op == token.AND {
+				if path, root, ok := PathOf(ev.Info, m.X); ok {
+					nilInvalidateRoot(env, rootName(path))
+					if root != nil {
+						delete(env.Vars, root)
+					}
+				}
+			}
+			return true
+		case *ast.FuncLit:
+			ast.Inspect(m.Body, func(k ast.Node) bool {
+				if as, ok := k.(*ast.AssignStmt); ok {
+					for _, l := range as.Lhs {
+						if path, root, ok := PathOf(ev.Info, l); ok {
+							nilInvalidateRoot(env, rootName(path))
+							if root != nil {
+								delete(env.Vars, root)
+							}
+						}
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+}
+
+// Refine narrows env down a branch edge on x == nil / x != nil tests.
+func (ev *NilEval) Refine(cond ast.Expr, taken bool, env *Env[Nilness]) {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		ev.Refine(c.X, taken, env)
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			ev.Refine(c.X, !taken, env)
+		}
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			if taken {
+				ev.Refine(c.X, true, env)
+				ev.Refine(c.Y, true, env)
+			}
+		case token.LOR:
+			if !taken {
+				ev.Refine(c.X, false, env)
+				ev.Refine(c.Y, false, env)
+			}
+		case token.EQL, token.NEQ:
+			isNil := (c.Op == token.EQL) == taken
+			target := c.X
+			other := c.Y
+			if tv, ok := ev.Info.Types[c.X]; ok && tv.IsNil() {
+				target, other = c.Y, c.X
+			}
+			if tv, ok := ev.Info.Types[other]; !ok || !tv.IsNil() {
+				return // not a nil comparison
+			}
+			ev.store(target, isNil, env)
+		}
+	}
+}
+
+func (ev *NilEval) store(e ast.Expr, isNil bool, env *Env[Nilness]) {
+	val := NilNonNil
+	if isNil {
+		val = NilIsNil
+	}
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := objVar(ev.Info, e); ok {
+			env.Vars[v] = val
+		}
+	case *ast.SelectorExpr:
+		if path, _, ok := PathOf(ev.Info, e); ok {
+			env.Paths[path] = val
+		}
+	}
+}
+
+func nilInvalidateRoot(env *Env[Nilness], name string) {
+	for k := range env.Paths {
+		if rootName(k) == name {
+			delete(env.Paths, k)
+		}
+	}
+}
+
+func nilInvalidatePrefix(env *Env[Nilness], path string) {
+	for k := range env.Paths {
+		if k == path || len(k) > len(path) && k[:len(path)] == path && k[len(path)] == '.' {
+			delete(env.Paths, k)
+		}
+	}
+}
+
+func nilInvalidateDotted(env *Env[Nilness]) {
+	for k := range env.Paths {
+		for i := 0; i < len(k); i++ {
+			if k[i] == '.' {
+				delete(env.Paths, k)
+				break
+			}
+		}
+	}
+}

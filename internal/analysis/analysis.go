@@ -158,6 +158,8 @@ func Suite() []*Analyzer {
 		GoLeakAnalyzer(),
 		LockOrderAnalyzer(),
 		ErrFlowAnalyzer(),
+		RangeCheckAnalyzer(),
+		NilFlowAnalyzer(),
 	}
 }
 

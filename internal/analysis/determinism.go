@@ -18,12 +18,26 @@ package analysis
 // properties of the parallel engine and the singleflight cache, and
 // wall-clock measurement there can mask the very reordering bugs the tests
 // exist to catch.
+//
+// The check is interprocedural: Prepare computes a purity summary for every
+// function in the module — a function is pure iff its own body touches no
+// entropy source and all of its statically resolvable callees are pure —
+// and Run flags calls from replay-critical packages into impure helpers
+// that live outside them, naming the ultimate entropy source. The direct
+// per-expression findings (positions and messages) are unchanged, so
+// existing waivers stay valid; helpers inside the replay-critical packages
+// are not double-reported at their call sites because they already carry
+// their own direct finding.
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"path/filepath"
 	"strconv"
 	"strings"
+
+	"mcdvfs/internal/analysis/flow"
 )
 
 // determinismPkgs are the import paths whose non-test code must be entropy
@@ -57,21 +71,117 @@ var emissionFuncs = map[string]bool{
 	"Append": true, "Appendf": true, "Appendln": true,
 }
 
+// impureSource names the ultimate entropy source a function reaches, with
+// its location rendered basename:line so messages stay path-independent.
+type impureSource struct {
+	desc string // "time.Now (engine.go:42)", "math/rand (jitter.go:9)"
+}
+
+// determState carries the purity summaries from Prepare into the passes.
+type determState struct {
+	impure map[*types.Func]impureSource
+}
+
 // DeterminismAnalyzer builds the determinism check.
 func DeterminismAnalyzer() *Analyzer {
+	st := &determState{}
 	return &Analyzer{
 		Name:         "determinism",
-		Doc:          "forbid time.Now, global math/rand, and map-ordered output in replay-critical packages",
+		Doc:          "forbid time.Now, global math/rand, and map-ordered output in replay-critical packages, including through calls into impure helpers",
 		Applies:      func(path string) bool { return determinismPkgs[path] },
 		AnalyzeTests: func(path string) bool { return determinismTestPkgs[path] },
-		Run:          runDeterminism,
+		Prepare:      st.prepare,
+		Run:          st.run,
 	}
 }
 
-func runDeterminism(pass *Pass) {
+// prepare computes purity: a function is impure if its own body reads an
+// entropy source, or (to a fixpoint) if any statically resolvable callee
+// is impure. The root source propagates so call-site diagnostics can name
+// it directly instead of pointing one hop down a helper chain.
+func (st *determState) prepare(prog *flow.Program) {
+	st.impure = make(map[*types.Func]impureSource)
+	for _, fn := range prog.Funcs() {
+		if desc, pos, ok := directEntropy(fn.Pkg.Info, fn.Decl); ok {
+			st.impure[fn.Obj] = impureSource{desc: desc + " (" + relPos(prog.Fset, pos) + ")"}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range prog.Funcs() {
+			if _, done := st.impure[fn.Obj]; done {
+				continue
+			}
+			info := fn.Pkg.Info
+			ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := flow.CalleeObj(info, call)
+				if callee == nil {
+					return true
+				}
+				if src, bad := st.impure[callee]; bad {
+					if _, done := st.impure[fn.Obj]; !done {
+						st.impure[fn.Obj] = src
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// directEntropy reports the first entropy source read directly by fd's body.
+func directEntropy(info *types.Info, fd *ast.FuncDecl) (string, token.Pos, bool) {
+	var desc string
+	var pos token.Pos
+	if fd.Body == nil {
+		return "", token.NoPos, false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pkgNameOf(info, id)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "time":
+			if sel.Sel.Name == "Now" {
+				desc, pos = "time.Now", sel.Pos()
+			}
+		case "math/rand", "math/rand/v2":
+			if !seededRandCtors[sel.Sel.Name] {
+				desc, pos = "global math/rand", sel.Pos()
+			}
+		}
+		return true
+	})
+	return desc, pos, desc != ""
+}
+
+// relPos renders a position as basename:line.
+func relPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
+}
+
+func (st *determState) run(pass *Pass) {
 	if pass.IncludeSrc {
 		for _, f := range pass.Pkg.Syntax {
-			determinismFile(pass, f)
+			st.determinismFile(pass, f)
 		}
 	}
 	if pass.IncludeTests {
@@ -82,7 +192,7 @@ func runDeterminism(pass *Pass) {
 }
 
 // determinismFile screens one type-checked file.
-func determinismFile(pass *Pass, f *ast.File) {
+func (st *determState) determinismFile(pass *Pass, f *ast.File) {
 	info := pass.Pkg.Info
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -105,6 +215,8 @@ func determinismFile(pass *Pass, f *ast.File) {
 					pass.Reportf(n.Pos(), "global math/rand source is shared, racy, and run-seeded; use internal/rng (explicitly seeded SplitMix64)")
 				}
 			}
+		case *ast.CallExpr:
+			st.checkImpureCall(pass, n)
 		case *ast.RangeStmt:
 			if n.X == nil {
 				return true
@@ -122,6 +234,22 @@ func determinismFile(pass *Pass, f *ast.File) {
 		}
 		return true
 	})
+}
+
+// checkImpureCall flags a call from a replay-critical package into an
+// impure helper declared outside the replay-critical set. Helpers inside
+// the set are skipped: they carry their own direct finding, and reporting
+// the call too would say the same thing twice.
+func (st *determState) checkImpureCall(pass *Pass, call *ast.CallExpr) {
+	callee := flow.CalleeObj(pass.Pkg.Info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	src, ok := st.impure[callee]
+	if !ok || determinismPkgs[callee.Pkg().Path()] {
+		return
+	}
+	pass.Reportf(call.Pos(), "call to %s reaches hidden entropy — %s; replay-critical output must not depend on it", callee.Name(), src.desc)
 }
 
 // findEmission looks for the first order-sensitive emission inside a

@@ -8,6 +8,8 @@ package analysis_test
 //	go test ./internal/analysis -run TestFixtureGolden -update
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -21,7 +23,7 @@ var update = flag.Bool("update", false, "rewrite golden files with current outpu
 
 // fixtures lists every fixture package and the check it exercises.
 var fixtures = []string{"determfix", "unitfix", "floatfix", "ctxfix", "lockfix", "lintfix",
-	"goleakfix", "lockorderfix", "errflowfix"}
+	"goleakfix", "lockorderfix", "errflowfix", "rangefix", "nilflowfix"}
 
 // runFixture executes the whole suite, scope-free, over one fixture.
 func runFixture(t *testing.T, name string, disable map[string]bool) string {
@@ -129,6 +131,118 @@ func BenchmarkVet(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkAbsint isolates the abstract-interpretation tier: only the
+// checks that run the interval/nil-ness fixpoints (rangecheck, nilflow)
+// and the purity-summary determinism check stay enabled, so the number
+// tracks the cost of the absint engine itself — Prepare's interprocedural
+// summary rounds plus the per-function analyses — over the whole module.
+func BenchmarkAbsint(b *testing.B) {
+	disable := map[string]bool{}
+	for _, a := range analysis.Suite() {
+		switch a.Name {
+		case "rangecheck", "nilflow", "determinism":
+		default:
+			disable[a.Name] = true
+		}
+	}
+	cases := []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // 0 = GOMAXPROCS
+	}
+	if _, err := analysis.Run(analysis.Options{
+		Dir: filepath.Join("..", ".."), Patterns: []string{"./..."},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				diags, err := analysis.Run(analysis.Options{
+					Dir:      filepath.Join("..", ".."),
+					Patterns: []string{"./..."},
+					Disable:  disable,
+					Workers:  bc.workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(diags) != 0 {
+					b.Fatalf("repo not clean under benchmark: %v", diags[0])
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersDeterministicJSON pins the scheduler-independence contract
+// end to end: the JSON rendering of the full diagnostic set — the same
+// bytes mcdvfsvet -json emits — is identical no matter how many workers
+// ran the passes, including the Prepare-computed interprocedural state the
+// abstract-interpretation checks read concurrently.
+func TestWorkersDeterministicJSON(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runJSON := func(workers int) []byte {
+		diags, err := analysis.Run(analysis.Options{
+			Patterns: []string{
+				"./testdata/src/rangefix", "./testdata/src/nilflowfix",
+				"./testdata/src/determfix", "./testdata/src/goleakfix",
+			},
+			ScopeAll: true,
+			Workers:  workers,
+		})
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		analysis.RelTo(diags, wd)
+		b, err := json.Marshal(diags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := runJSON(1)
+	if !strings.Contains(string(serial), "rangecheck") || !strings.Contains(string(serial), "nilflow") {
+		t.Fatalf("serial run missing expected findings:\n%s", serial)
+	}
+	for _, w := range []int{2, 8} {
+		if got := runJSON(w); !bytes.Equal(serial, got) {
+			t.Errorf("workers=%d output differs from serial\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				w, serial, w, got)
+		}
+	}
+}
+
+// TestWaiversSortedInventory pins the -waivers inventory order: file, then
+// line, then check — the contract consumers diffing two inventories rely
+// on.
+func TestWaiversSortedInventory(t *testing.T) {
+	ws, err := analysis.ListWaivers(analysis.Options{
+		Dir:      filepath.Join("..", ".."),
+		Patterns: []string{"./..."},
+	})
+	if err != nil {
+		t.Fatalf("ListWaivers: %v", err)
+	}
+	if len(ws) < 2 {
+		t.Fatalf("repo has %d waivers; the ordering test needs at least 2", len(ws))
+	}
+	for i := 1; i < len(ws); i++ {
+		a, b := ws[i-1], ws[i]
+		if a.File > b.File ||
+			(a.File == b.File && a.Line > b.Line) ||
+			(a.File == b.File && a.Line == b.Line && a.Check > b.Check) {
+			t.Errorf("waivers out of order at %d: %s:%d [%s] before %s:%d [%s]",
+				i, a.File, a.Line, a.Check, b.File, b.Line, b.Check)
+		}
 	}
 }
 

@@ -22,6 +22,22 @@ import (
 	"go/token"
 )
 
+// EdgeKind classifies one outgoing CFG edge for condition-sensitive
+// analyses. Most edges are EdgeNext; the two successors of a block that ends
+// in a boolean condition (if header, for header) are EdgeTrue and EdgeFalse,
+// which is what lets an abstract domain refine "x != 0" differently down the
+// two arms.
+type EdgeKind uint8
+
+const (
+	// EdgeNext is an unconditional (or unclassified) edge.
+	EdgeNext EdgeKind = iota
+	// EdgeTrue is taken when the block's Cond evaluates true.
+	EdgeTrue
+	// EdgeFalse is taken when the block's Cond evaluates false.
+	EdgeFalse
+)
+
 // Block is one basic block: nodes that execute in sequence, then a branch.
 type Block struct {
 	// Index is the block's position in CFG.Blocks, assigned in creation
@@ -38,6 +54,12 @@ type Block struct {
 	// Succs and Preds are the control-flow edges.
 	Succs []*Block
 	Preds []*Block
+	// SuccKinds classifies each Succs entry; the two slices stay parallel.
+	SuccKinds []EdgeKind
+	// Cond is the boolean expression whose outcome selects between this
+	// block's EdgeTrue and EdgeFalse successors, nil when the block ends
+	// unconditionally. It is always also the last condition node in Nodes.
+	Cond ast.Expr
 }
 
 // CFG is the control-flow graph of one function body.
@@ -125,7 +147,12 @@ func (b *builder) newBlock(kind string) *Block {
 }
 
 func (b *builder) edge(from, to *Block) {
+	b.edgeKind(from, to, EdgeNext)
+}
+
+func (b *builder) edgeKind(from, to *Block, kind EdgeKind) {
 	from.Succs = append(from.Succs, to)
+	from.SuccKinds = append(from.SuccKinds, kind)
 }
 
 // stmtList threads a statement sequence through cur, returning the live-out
@@ -176,19 +203,20 @@ func (b *builder) stmt(s ast.Stmt, cur *Block) *Block {
 			cur.Nodes = append(cur.Nodes, s.Init)
 		}
 		cur.Nodes = append(cur.Nodes, s.Cond)
+		cur.Cond = s.Cond
 		then := b.newBlock("if.then")
-		b.edge(cur, then)
+		b.edgeKind(cur, then, EdgeTrue)
 		thenOut := b.stmtList(s.Body.List, then)
 		var elseOut, elseIn *Block
 		if s.Else != nil {
 			elseIn = b.newBlock("if.else")
-			b.edge(cur, elseIn)
+			b.edgeKind(cur, elseIn, EdgeFalse)
 			elseOut = b.stmt(s.Else, elseIn)
 		}
 		if s.Else == nil {
 			// No else: the false edge falls through to the join.
 			join := b.newBlock("if.done")
-			b.edge(cur, join)
+			b.edgeKind(cur, join, EdgeFalse)
 			if thenOut != nil {
 				b.edge(thenOut, join)
 			}
@@ -214,12 +242,15 @@ func (b *builder) stmt(s ast.Stmt, cur *Block) *Block {
 		b.edge(cur, head)
 		if s.Cond != nil {
 			head.Nodes = append(head.Nodes, s.Cond)
+			head.Cond = s.Cond
 		}
 		body := b.newBlock("for.body")
-		b.edge(head, body)
 		done := b.newBlock("for.done")
 		if s.Cond != nil {
-			b.edge(head, done)
+			b.edgeKind(head, body, EdgeTrue)
+			b.edgeKind(head, done, EdgeFalse)
+		} else {
+			b.edge(head, body)
 		}
 		post := head
 		if s.Post != nil {
@@ -438,14 +469,16 @@ func (b *builder) finish() *CFG {
 	}
 	for _, blk := range c.Blocks {
 		// Drop edges into pruned blocks (possible via break targets of
-		// dead constructs), then fill preds.
+		// dead constructs), then fill preds. SuccKinds stays parallel.
 		live := blk.Succs[:0]
-		for _, s := range blk.Succs {
+		kinds := blk.SuccKinds[:0]
+		for i, s := range blk.Succs {
 			if reach[s] || s == b.exit {
 				live = append(live, s)
+				kinds = append(kinds, blk.SuccKinds[i])
 			}
 		}
-		blk.Succs = live
+		blk.Succs, blk.SuccKinds = live, kinds
 	}
 	for _, blk := range c.Blocks {
 		for _, s := range blk.Succs {

@@ -1,0 +1,129 @@
+package flow
+
+// Dominance over the CFG, in the Cooper–Harvey–Kennedy iterative style: small
+// graphs, no Lengauer–Tarjan machinery. The abstract-interpretation engine
+// uses it to find natural-loop heads (the widening points), and checks can
+// ask "is this division dominated by its guard" directly.
+
+// DomTree is the immediate-dominator tree of one CFG.
+type DomTree struct {
+	cfg *CFG
+	// idom[i] is the index of block i's immediate dominator; the entry is
+	// its own idom, and blocks unreachable from the entry (a synthetic exit
+	// nothing returns to) get -1.
+	idom []int
+	// rpo[i] is block i's reverse-postorder number, -1 when unreachable.
+	rpo []int
+}
+
+// Dominators computes the dominator tree. The CFG is not mutated; callers
+// that need the tree repeatedly should keep the result.
+func (c *CFG) Dominators() *DomTree {
+	n := len(c.Blocks)
+	d := &DomTree{cfg: c, idom: make([]int, n), rpo: make([]int, n)}
+	for i := range d.idom {
+		d.idom[i], d.rpo[i] = -1, -1
+	}
+
+	// Depth-first postorder from the entry, then reverse it.
+	order := make([]*Block, 0, n)
+	seen := make([]bool, n)
+	var walk func(*Block)
+	walk = func(blk *Block) {
+		seen[blk.Index] = true
+		for _, s := range blk.Succs {
+			if !seen[s.Index] {
+				walk(s)
+			}
+		}
+		order = append(order, blk)
+	}
+	walk(c.Entry)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	for num, blk := range order {
+		d.rpo[blk.Index] = num
+	}
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for d.rpo[a] > d.rpo[b] {
+				a = d.idom[a]
+			}
+			for d.rpo[b] > d.rpo[a] {
+				b = d.idom[b]
+			}
+		}
+		return a
+	}
+
+	d.idom[c.Entry.Index] = c.Entry.Index
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range order {
+			if blk == c.Entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range blk.Preds {
+				if d.idom[p.Index] == -1 {
+					continue // predecessor not processed yet (or unreachable)
+				}
+				if newIdom == -1 {
+					newIdom = p.Index
+				} else {
+					newIdom = intersect(newIdom, p.Index)
+				}
+			}
+			if newIdom != -1 && d.idom[blk.Index] != newIdom {
+				d.idom[blk.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// Idom returns b's immediate dominator, or nil for the entry and for blocks
+// unreachable from the entry.
+func (d *DomTree) Idom(b *Block) *Block {
+	i := d.idom[b.Index]
+	if i == -1 || i == b.Index {
+		return nil
+	}
+	return d.cfg.Blocks[i]
+}
+
+// Dominates reports whether a dominates b (reflexively: every block
+// dominates itself). Unreachable blocks are dominated by nothing but
+// themselves.
+func (d *DomTree) Dominates(a, b *Block) bool {
+	if a == b {
+		return true
+	}
+	i := b.Index
+	for d.idom[i] != -1 && d.idom[i] != i {
+		i = d.idom[i]
+		if i == a.Index {
+			return true
+		}
+	}
+	return false
+}
+
+// LoopHeads returns the heads of the CFG's natural loops: blocks that are the
+// target of a back edge (an edge whose target dominates its source). These
+// are exactly the points where an abstract interpreter must widen.
+func (c *CFG) LoopHeads() map[*Block]bool {
+	d := c.Dominators()
+	heads := map[*Block]bool{}
+	for _, blk := range c.Blocks {
+		for _, s := range blk.Succs {
+			if d.Dominates(s, blk) {
+				heads[s] = true
+			}
+		}
+	}
+	return heads
+}

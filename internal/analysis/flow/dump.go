@@ -22,8 +22,15 @@ func (c *CFG) Dump(fset *token.FileSet) string {
 		}
 		if len(blk.Succs) > 0 {
 			b.WriteString(" ->")
-			for _, s := range blk.Succs {
-				fmt.Fprintf(&b, " b%d", s.Index)
+			for i, s := range blk.Succs {
+				suffix := ""
+				switch blk.SuccKinds[i] {
+				case EdgeTrue:
+					suffix = "(T)"
+				case EdgeFalse:
+					suffix = "(F)"
+				}
+				fmt.Fprintf(&b, " b%d%s", s.Index, suffix)
 			}
 		}
 		b.WriteByte('\n')

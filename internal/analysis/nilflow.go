@@ -1,0 +1,380 @@
+package analysis
+
+// nilflow: nil-ness abstract interpretation (internal/analysis/absint) over
+// per-function CFGs, plus goleak-style interprocedural evidence mapping.
+//
+// Intra-function, the check reports the classic Go crash shapes when the
+// domain holds actual evidence of nil — a declared-but-never-made map, a
+// pointer assigned nil on some path and dereferenced past the merge:
+//
+//	var idx map[string]int      // IsNil
+//	if fast { idx = make(...) } // NonNil on one path
+//	idx[k] = v                  // Maybe at the merge: nil on some path
+//
+// The lattice join is evidence-preserving on purpose: Unknown⊔IsNil is
+// Maybe (nil on one path is a fact worth keeping), while Unknown⊔NonNil
+// stays Unknown (no finding material). No evidence, no finding.
+//
+// Interprocedurally, Prepare computes a demand summary per function: each
+// nilable parameter is seeded IsNil and the body is re-analyzed; if the
+// parameter reaches a dereference or map write still nil — no guard, no
+// reassignment on that path — the function demands a non-nil argument at
+// that position. Run then flags call sites that pass a definitely-nil
+// argument into a demanding parameter, pointing at the callee's crash site
+// the same way goleak maps callee evidence through call arguments.
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"mcdvfs/internal/analysis/absint"
+	"mcdvfs/internal/analysis/flow"
+)
+
+// nilflowApplies scopes the check module-wide except the analysis tooling
+// itself (whose fixtures are deliberately full of crash shapes).
+func nilflowApplies(path string) bool {
+	return strings.HasPrefix(path, "mcdvfs") &&
+		!strings.HasPrefix(path, "mcdvfs/internal/analysis")
+}
+
+// nilDemand records that a function dereferences one of its parameters on
+// a path where the parameter can still be nil.
+type nilDemand struct {
+	param   int       // index into the declared (non-receiver) parameters
+	name    string    // parameter name, for diagnostics
+	what    string    // site description: "writes to it as a map", ...
+	pos     token.Pos // crash site in the callee
+	nparams int       // arity guard for call-site matching
+}
+
+type nilflowState struct {
+	demands map[*types.Func][]nilDemand
+	fset    *token.FileSet
+}
+
+// NilFlowAnalyzer builds the nilflow analyzer.
+func NilFlowAnalyzer() *Analyzer {
+	st := &nilflowState{}
+	return &Analyzer{
+		Name:    "nilflow",
+		Doc:     "nil-ness dataflow: nil map writes, nil dereferences reachable on some path, and nil arguments to parameters the callee dereferences",
+		Applies: nilflowApplies,
+		Prepare: st.prepare,
+		Run:     st.run,
+	}
+}
+
+func (st *nilflowState) prepare(prog *flow.Program) {
+	st.fset = prog.Fset
+	st.demands = make(map[*types.Func][]nilDemand)
+	for _, fn := range prog.Funcs() {
+		if ds := st.demandsOf(fn); len(ds) > 0 {
+			st.demands[fn.Obj] = ds
+		}
+	}
+}
+
+// demandsOf re-analyzes fn with every nilable parameter seeded IsNil and
+// records the first unguarded crash site per parameter.
+func (st *nilflowState) demandsOf(fn *flow.Func) []nilDemand {
+	info := fn.Pkg.Info
+	params := declParams(info, fn.Decl)
+	if len(params) == 0 {
+		return nil
+	}
+	seeded := make(map[*types.Var]bool, len(params))
+	for _, p := range params {
+		if p != nil && Nilable(p.Type()) {
+			seeded[p] = true
+		}
+	}
+	if len(seeded) == 0 {
+		return nil
+	}
+	ev := &absint.NilEval{
+		Info: info,
+		VarSeed: func(v *types.Var) (absint.Nilness, bool) {
+			if seeded[v] {
+				return absint.NilIsNil, true
+			}
+			return absint.NilUnknown, false
+		},
+	}
+	var out []nilDemand
+	have := make(map[int]bool)
+	st.walkSites(fn.CFG(), ev, func(target ast.Expr, what string, pos token.Pos, fact absint.Nilness) {
+		if fact != absint.NilIsNil {
+			return
+		}
+		// Slice indexing is always preceded by a bounds check against len,
+		// which a nil slice never passes; it is not demand evidence.
+		if what == "indexes it as a slice" {
+			return
+		}
+		v, ok := identVar(info, target)
+		if !ok || !seeded[v] {
+			return
+		}
+		for i, p := range params {
+			if p == v && !have[i] {
+				have[i] = true
+				out = append(out, nilDemand{
+					param: i, name: v.Name(), what: what, pos: pos,
+					nparams: len(params),
+				})
+			}
+		}
+	})
+	return out
+}
+
+// declParams returns the declared (non-receiver) parameter objects in order.
+func declParams(info *types.Info, fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil) // unnamed: position holder only
+			continue
+		}
+		for _, name := range field.Names {
+			v, _ := info.Defs[name].(*types.Var)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Nilable re-exported for the analyzer layer.
+func Nilable(t types.Type) bool { return absint.Nilable(t) }
+
+// walkSites runs the nil-ness fixpoint over cfg and invokes visit at every
+// potential crash site with the target's fact immediately before the
+// operation, refined across short-circuit operators.
+func (st *nilflowState) walkSites(cfg *flow.CFG, ev *absint.NilEval, visit func(target ast.Expr, what string, pos token.Pos, fact absint.Nilness)) {
+	it := ev.Interp()
+	envs := it.Analyze(cfg, absint.NewEnv[absint.Nilness]())
+	for _, blk := range cfg.Blocks {
+		entry := envs[blk]
+		if entry == nil {
+			continue
+		}
+		it.Walk(blk, entry, func(n ast.Node, env *absint.Env[absint.Nilness]) {
+			nilSites(it, ev, flow.HeaderExpr(n), env, func(target ast.Expr, what string, at *absint.Env[absint.Nilness]) {
+				visit(target, what, target.Pos(), ev.Expr(target, at))
+			})
+		})
+	}
+}
+
+// nilSites enumerates the expressions inside n whose nil-ness decides a
+// runtime panic — map-write bases, pointer-field bases, unary dereferences,
+// slice-index bases, and called function values — handing each to visit
+// along with the short-circuit-refined environment at that point.
+func nilSites(it *absint.Interp[absint.Nilness], ev *absint.NilEval, n ast.Node, env *absint.Env[absint.Nilness], visit func(target ast.Expr, what string, env *absint.Env[absint.Nilness])) {
+	if n == nil {
+		return
+	}
+	info := ev.Info
+	mapWrites := map[ast.Expr]bool{}
+	absint.CondWalk(it, n, env, func(m ast.Node, env *absint.Env[absint.Nilness]) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if _, isMap := typeOf(info, ix.X).(*types.Map); isMap {
+					mapWrites[ix] = true
+					visit(ix.X, "writes to it as a map", env)
+				}
+			}
+		case *ast.IndexExpr:
+			if mapWrites[m] {
+				return true // base already visited as a map write
+			}
+			switch typeOf(info, m.X).(type) {
+			case *types.Slice:
+				visit(m.X, "indexes it as a slice", env)
+			}
+		case *ast.StarExpr:
+			if _, isPtr := typeOf(info, m.X).(*types.Pointer); isPtr {
+				visit(m.X, "dereferences it", env)
+			}
+		case *ast.SelectorExpr:
+			sel, ok := info.Selections[m]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			if _, isPtr := typeOf(info, m.X).(*types.Pointer); isPtr {
+				visit(m.X, "dereferences it", env)
+			}
+		case *ast.CallExpr:
+			fun := ast.Unparen(m.Fun)
+			if id, ok := fun.(*ast.Ident); ok {
+				if v, okv := info.Uses[id].(*types.Var); okv {
+					if _, isSig := v.Type().Underlying().(*types.Signature); isSig {
+						visit(fun, "calls it as a function", env)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	return tv.Type.Underlying()
+}
+
+// identVar resolves e to the variable it names, if it is a plain ident.
+func identVar(info *types.Info, e ast.Expr) (*types.Var, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	return v, ok
+}
+
+func (st *nilflowState) run(pass *Pass) {
+	if !pass.IncludeSrc {
+		return
+	}
+	info := pass.Pkg.Info
+	ev := &absint.NilEval{Info: info}
+	for _, f := range pass.Pkg.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			st.checkFunc(pass, ev, fd)
+		}
+	}
+}
+
+func (st *nilflowState) checkFunc(pass *Pass, ev *absint.NilEval, fd *ast.FuncDecl) {
+	var cfg *flow.CFG
+	if obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		if fn := pass.Prog.FuncOf(obj); fn != nil {
+			cfg = fn.CFG()
+		}
+	}
+	if cfg == nil {
+		cfg = flow.New(fd)
+	}
+	it := ev.Interp()
+	envs := it.Analyze(cfg, absint.NewEnv[absint.Nilness]())
+	for _, blk := range cfg.Blocks {
+		entry := envs[blk]
+		if entry == nil {
+			continue
+		}
+		it.Walk(blk, entry, func(n ast.Node, env *absint.Env[absint.Nilness]) {
+			node := flow.HeaderExpr(n)
+			nilSites(it, ev, node, env, func(target ast.Expr, what string, at *absint.Env[absint.Nilness]) {
+				st.reportSite(pass, target, what, ev.Expr(target, at))
+			})
+			st.checkCallDemands(pass, it, ev, node, env)
+		})
+	}
+}
+
+// reportSite emits the intra-function findings. Unknown is silent: the
+// domain only speaks when some path actually carried nil.
+func (st *nilflowState) reportSite(pass *Pass, target ast.Expr, what string, fact absint.Nilness) {
+	// Indexing a nil slice is only reported on definite nil: the index is
+	// bounds-checked against len first, and length-guarded loops over
+	// maybe-nil slices (the standard build-then-sort shape) never reach the
+	// index when the slice is nil. The interval domain owns bounds.
+	if what == "indexes it as a slice" && fact != absint.NilIsNil {
+		return
+	}
+	switch fact {
+	case absint.NilIsNil:
+		pass.Reportf(target.Pos(), "%s is nil here and this %s; this panics on every path",
+			render(target), recast(what))
+	case absint.NilMaybe:
+		pass.Reportf(target.Pos(), "%s is nil on some path to this point and this %s; guard or initialize it first",
+			render(target), recast(what))
+	}
+}
+
+// recast rewrites the callee-demand phrasing ("writes to it as a map") into
+// site phrasing ("write writes to it as a map" reads badly at the site).
+func recast(what string) string {
+	switch what {
+	case "writes to it as a map":
+		return "statement writes to it as a map"
+	case "indexes it as a slice":
+		return "expression indexes it as a slice"
+	case "dereferences it":
+		return "expression dereferences it"
+	case "calls it as a function":
+		return "expression calls it as a function"
+	}
+	return "expression uses it"
+}
+
+// checkCallDemands maps callee demand summaries through call arguments:
+// a definitely-nil argument bound to a parameter the callee dereferences
+// is reported at the call site, with the callee's crash site named.
+func (st *nilflowState) checkCallDemands(pass *Pass, it *absint.Interp[absint.Nilness], ev *absint.NilEval, n ast.Node, env *absint.Env[absint.Nilness]) {
+	if n == nil {
+		return
+	}
+	absint.CondWalk(it, n, env, func(m ast.Node, env *absint.Env[absint.Nilness]) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok || call.Ellipsis.IsValid() {
+			return true
+		}
+		obj := flow.CalleeObj(pass.Pkg.Info, call)
+		if obj == nil {
+			return true
+		}
+		for _, d := range st.demands[obj] {
+			if d.nparams != len(call.Args) || d.param >= len(call.Args) {
+				continue // arity mismatch (method expression, variadic): skip
+			}
+			arg := call.Args[d.param]
+			if ev.Expr(arg, env) != absint.NilIsNil {
+				continue
+			}
+			pass.Reportf(arg.Pos(), "nil %s passed to %s, which %s at %s without a guard",
+				d.name, obj.Name(), d.what, st.sitePos(d.pos))
+		}
+		return true
+	})
+}
+
+// sitePos renders a callee crash site compactly (basename:line) so fixture
+// goldens stay path-independent.
+func (st *nilflowState) sitePos(pos token.Pos) string {
+	p := st.fset.Position(pos)
+	return filepath.Base(p.Filename) + ":" + itoa(p.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

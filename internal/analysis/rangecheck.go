@@ -1,0 +1,468 @@
+package analysis
+
+// rangecheck: interval abstract interpretation over the model packages'
+// CFGs (internal/analysis/absint), aimed at the three numeric failure modes
+// a DVFS reproduction actually hits:
+//
+//   - division by a value the analysis can show reaches zero — the empty
+//     sample window, the zero-instruction spec, the elapsed-time accumulator
+//     divided before anything accumulated;
+//   - a definitely-negative quantity flowing into a parameter whose name or
+//     type says it is a non-negative physical magnitude (nanoseconds,
+//     joules, watts, megahertz): energies and durations below zero are
+//     arithmetic bugs wearing a physics costume;
+//   - an index provably outside a table: operating-point lookups into
+//     ladders and OPP tables with a hand-computed index.
+//
+// Everything runs on the interval domain's evidence semantics: no fact, no
+// finding. The seeds are where the physics enters — and they are consulted
+// only for values nothing was learned about:
+//
+//   - a literal or constant is its own interval;
+//   - len(x) is at least zero, exactly n after make([]T, n) or a composite
+//     literal, and grows by k across append(x, e1..ek);
+//   - a value whose type or name says MHz inherits the module's operating-
+//     point envelope, discovered in Prepare by folding the constant
+//     arguments of every freq.Ladder call — the same range the simulator
+//     can actually be configured to run at (GHz and Hz scale it);
+//   - other physical units (durations, energies, powers, voltages, rates)
+//     seed [0, +inf): non-negative, but with zero admitted, which is
+//     exactly why an unguarded division by one is worth flagging;
+//   - function results propagate through per-function summaries computed in
+//     Prepare over two deterministic rounds (like the units check), with
+//     the callee's name suffix as fallback (dev.RowHitNS() is [0, +inf) by
+//     name from any package).
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"strconv"
+	"strings"
+
+	"mcdvfs/internal/analysis/absint"
+	"mcdvfs/internal/analysis/flow"
+)
+
+// rangeApplies scopes the check to the model and engine packages; the
+// analysis tooling itself (and its fixtures) stays out.
+func rangeApplies(path string) bool {
+	return strings.HasPrefix(path, "mcdvfs/internal/") &&
+		!strings.HasPrefix(path, "mcdvfs/internal/analysis")
+}
+
+// rangeState carries Prepare-computed facts into the concurrent passes.
+// Written once in prepare, read-only afterwards.
+type rangeState struct {
+	// opp is the operating-point envelope in MHz, joined over every
+	// freq.Ladder call with constant bounds in the module.
+	opp   absint.Interval
+	oppOK bool
+	// summaries maps module functions with one numeric result to the joined
+	// interval of their return expressions.
+	summaries map[*types.Func]absint.Interval
+	// paramUnits caches each module function's parameter units for the
+	// negative-quantity check.
+	paramUnits map[*types.Func]*unitSummary
+}
+
+// RangeCheckAnalyzer builds the rangecheck analyzer.
+func RangeCheckAnalyzer() *Analyzer {
+	st := &rangeState{}
+	return &Analyzer{
+		Name:    "rangecheck",
+		Doc:     "interval analysis: divisions that can reach zero, negative physical quantities at call boundaries, provably out-of-range table indices",
+		Applies: rangeApplies,
+		Prepare: st.prepare,
+		Run:     st.run,
+	}
+}
+
+// summaryRounds is how many times prepare re-derives function summaries;
+// round n+1 reads round n's results, so two rounds resolve one level of
+// call chaining beyond the seeds (matching the units check's depth).
+const summaryRounds = 2
+
+func (st *rangeState) prepare(prog *flow.Program) {
+	st.discoverOPP(prog)
+	st.paramUnits = make(map[*types.Func]*unitSummary, len(prog.Funcs()))
+	for _, fn := range prog.Funcs() {
+		if sum := summarize(fn.Pkg.Info, fn.Decl.Type, fn.Decl.Name.Name); sum != nil {
+			st.paramUnits[fn.Obj] = sum
+		}
+	}
+
+	st.summaries = map[*types.Func]absint.Interval{}
+	for round := 0; round < summaryRounds; round++ {
+		prev := st.summaries
+		next := make(map[*types.Func]absint.Interval, len(prev))
+		for _, fn := range prog.Funcs() {
+			if iv, ok := st.resultInterval(fn, prev); ok {
+				next[fn.Obj] = iv
+			}
+		}
+		st.summaries = next
+	}
+}
+
+// discoverOPP folds the constant bounds of every freq.Ladder(lo, hi, step)
+// call in the module into one MHz envelope.
+func (st *rangeState) discoverOPP(prog *flow.Program) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	found := false
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 3 {
+					return true
+				}
+				obj := flow.CalleeObj(pkg.Info, call)
+				if obj == nil || obj.Name() != "Ladder" || obj.Pkg() == nil ||
+					obj.Pkg().Path() != "mcdvfs/internal/freq" {
+					return true
+				}
+				clo, okLo := constArg(pkg.Info, call.Args[0])
+				chi, okHi := constArg(pkg.Info, call.Args[1])
+				if okLo && okHi && clo <= chi {
+					lo, hi = math.Min(lo, clo), math.Max(hi, chi)
+					found = true
+				}
+				return true
+			})
+		}
+	}
+	if found && lo > 0 {
+		st.opp, st.oppOK = absint.Range(lo, hi), true
+	}
+}
+
+func constArg(info *types.Info, e ast.Expr) (float64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		f, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+		return f, true
+	}
+	return 0, false
+}
+
+// resultInterval joins the intervals of fn's return expressions, for
+// functions whose only non-error result is numeric.
+func (st *rangeState) resultInterval(fn *flow.Func, prev map[*types.Func]absint.Interval) (absint.Interval, bool) {
+	sig, ok := fn.Obj.Type().(*types.Signature)
+	if !ok {
+		return absint.Top(), false
+	}
+	resIdx, resVar := -1, (*types.Var)(nil)
+	for i := 0; i < sig.Results().Len(); i++ {
+		r := sig.Results().At(i)
+		if r.Type().String() == "error" {
+			continue
+		}
+		basic, isBasic := r.Type().Underlying().(*types.Basic)
+		if !isBasic || basic.Info()&types.IsNumeric == 0 {
+			return absint.Top(), false
+		}
+		if resIdx >= 0 {
+			return absint.Top(), false // two numeric results: untracked
+		}
+		resIdx, resVar = i, r
+	}
+	if resIdx < 0 {
+		return absint.Top(), false
+	}
+
+	info := fn.Pkg.Info
+	ev := st.newEval(info, prev)
+	cfg := fn.CFG()
+	envs := ev.Interp().Analyze(cfg, absint.NewEnv[absint.Interval]())
+	joined := absint.Interval{}
+	first := true
+	lat := absint.IntervalLattice{}
+	for _, blk := range cfg.Blocks {
+		entry := envs[blk]
+		if entry == nil {
+			continue
+		}
+		ev.Interp().Walk(blk, entry, func(n ast.Node, env *absint.Env[absint.Interval]) {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return
+			}
+			var iv absint.Interval
+			switch {
+			case resIdx < len(ret.Results):
+				iv = ev.Expr(ret.Results[resIdx], env)
+			case len(ret.Results) == 0 && resVar.Name() != "":
+				// Bare return with named results: read the named result var.
+				if v, okv := env.Var(resVar); okv {
+					iv = v
+				}
+			}
+			if first {
+				joined, first = iv, false
+			} else {
+				joined = lat.Join(joined, iv)
+			}
+		})
+	}
+	if first || !joined.Known {
+		return absint.Top(), false
+	}
+	return joined, true
+}
+
+// newEval wires an interval evaluator with the physics seeds and the given
+// summary snapshot.
+func (st *rangeState) newEval(info *types.Info, summaries map[*types.Func]absint.Interval) *absint.IntervalEval {
+	var ev *absint.IntervalEval
+	ev = &absint.IntervalEval{
+		Info: info,
+		VarSeed: func(v *types.Var) (absint.Interval, bool) {
+			unit := typeUnit(v.Type())
+			if unit == "" {
+				unit = suffixUnit(v.Name())
+			}
+			return st.unitSeed(unit)
+		},
+		PathSeed: func(sel *ast.SelectorExpr) (absint.Interval, bool) {
+			unit := ""
+			if tv, ok := info.Types[sel]; ok && tv.Type != nil {
+				unit = typeUnit(tv.Type)
+			}
+			if unit == "" {
+				unit = suffixUnit(sel.Sel.Name)
+			}
+			return st.unitSeed(unit)
+		},
+		Call: func(call *ast.CallExpr) (absint.Interval, bool) {
+			obj := flow.CalleeObj(info, call)
+			if obj == nil {
+				return absint.Top(), false
+			}
+			if iv, ok := summaries[obj]; ok {
+				return iv, true
+			}
+			if iv, ok := mathSeed(obj); ok {
+				return iv, true
+			}
+			// Fallback: the callee's name suffix is a unit claim good enough
+			// to seed a range (RowHitNS() is nanoseconds from any package).
+			return st.unitSeed(suffixUnit(obj.Name()))
+		},
+	}
+	return ev
+}
+
+// freqScale maps frequency units to their factor relative to MHz; values
+// carrying one inherit the operating-point envelope.
+var freqScale = map[string]float64{
+	"MHz": 1, "GHz": 1e-3, "Hz": 1e6, "kHz": 1e3,
+}
+
+// unitSeed turns a unit string into a physics seed.
+func (st *rangeState) unitSeed(unit string) (absint.Interval, bool) {
+	if unit == "" {
+		return absint.Top(), false
+	}
+	if scale, ok := freqScale[unit]; ok {
+		if st.oppOK {
+			return absint.Range(st.opp.Lo*scale, st.opp.Hi*scale), true
+		}
+		return absint.Range(0, math.Inf(1)), true
+	}
+	switch unit {
+	case "ns", "us", "ms", "s",
+		"J", "mJ", "uJ", "nJ", "pJ", "kJ", "MJ",
+		"W", "mW", "uW", "kW",
+		"V", "mV", "uV",
+		"1/ns", "1/s", "1/cycle",
+		"B", "KiB", "MiB", "GiB":
+		return absint.Range(0, math.Inf(1)), true
+	}
+	return absint.Top(), false
+}
+
+// nonNegUnits are the unit classes the negative-quantity check guards: a
+// definitely-negative value flowing into one of these parameters is a bug.
+func nonNegUnit(unit string) bool {
+	switch unit {
+	case "MHz", "GHz", "Hz", "kHz",
+		"ns", "us", "ms", "s",
+		"J", "mJ", "uJ", "nJ", "pJ", "kJ", "MJ",
+		"W", "mW", "uW", "kW",
+		"V", "mV", "uV",
+		"1/ns", "1/s", "1/cycle",
+		"B", "KiB", "MiB", "GiB":
+		return true
+	}
+	return false
+}
+
+// mathSeed covers the handful of stdlib results with guaranteed signs.
+func mathSeed(obj *types.Func) (absint.Interval, bool) {
+	if obj.Pkg() == nil || obj.Pkg().Path() != "math" {
+		return absint.Top(), false
+	}
+	switch obj.Name() {
+	case "Abs", "Sqrt":
+		return absint.Range(0, math.Inf(1)), true
+	case "Exp", "Exp2":
+		return absint.Interval{Lo: 0, Hi: math.Inf(1), NonZero: true, Known: true}, true
+	}
+	return absint.Top(), false
+}
+
+func (st *rangeState) run(pass *Pass) {
+	if !pass.IncludeSrc {
+		return
+	}
+	info := pass.Pkg.Info
+	ev := st.newEval(info, st.summaries)
+	for _, f := range pass.Pkg.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			st.checkFunc(pass, ev, fd)
+		}
+	}
+}
+
+// checkFunc runs the fixpoint over one function and screens every node
+// against the three finding classes.
+func (st *rangeState) checkFunc(pass *Pass, ev *absint.IntervalEval, fd *ast.FuncDecl) {
+	var cfg *flow.CFG
+	if obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		if fn := pass.Prog.FuncOf(obj); fn != nil {
+			cfg = fn.CFG()
+		}
+	}
+	if cfg == nil {
+		cfg = flow.New(fd)
+	}
+	it := ev.Interp()
+	envs := it.Analyze(cfg, absint.NewEnv[absint.Interval]())
+	for _, blk := range cfg.Blocks {
+		entry := envs[blk]
+		if entry == nil {
+			continue
+		}
+		it.Walk(blk, entry, func(n ast.Node, env *absint.Env[absint.Interval]) {
+			st.checkNode(pass, it, ev, flow.HeaderExpr(n), env)
+		})
+	}
+}
+
+func (st *rangeState) checkNode(pass *Pass, it *absint.Interp[absint.Interval], ev *absint.IntervalEval, n ast.Node, env *absint.Env[absint.Interval]) {
+	if n == nil {
+		return
+	}
+	absint.CondWalk(it, n, env, func(m ast.Node, env *absint.Env[absint.Interval]) bool {
+		switch m := m.(type) {
+		case *ast.BinaryExpr:
+			if m.Op == token.QUO || m.Op == token.REM {
+				st.checkDivisor(pass, ev, m.Y, m.OpPos, env)
+			}
+		case *ast.AssignStmt:
+			if m.Tok == token.QUO_ASSIGN || m.Tok == token.REM_ASSIGN {
+				st.checkDivisor(pass, ev, m.Rhs[0], m.TokPos, env)
+			}
+		case *ast.IndexExpr:
+			st.checkIndex(pass, ev, m, env)
+		case *ast.CallExpr:
+			st.checkCallArgs(pass, ev, m, env)
+		}
+		return true
+	})
+}
+
+// checkDivisor reports divisors whose interval admits zero AND is finitely
+// bounded on both sides. Top and half-open divisors are silent: a bare
+// non-negativity seed ([0, +inf)) says almost nothing about the divisor's
+// actual values, and flagging every division by a duration or an energy
+// would drown the findings the domain genuinely proves.
+func (st *rangeState) checkDivisor(pass *Pass, ev *absint.IntervalEval, div ast.Expr, at token.Pos, env *absint.Env[absint.Interval]) {
+	iv := ev.Expr(div, env)
+	if !iv.ContainsZero() || math.IsInf(iv.Lo, -1) || math.IsInf(iv.Hi, 1) {
+		return
+	}
+	pass.Reportf(at, "divisor %s has range %s, which includes zero on some path; guard the division or tighten the range",
+		render(div), iv)
+}
+
+// checkIndex reports indices provably outside the indexed table.
+func (st *rangeState) checkIndex(pass *Pass, ev *absint.IntervalEval, ix *ast.IndexExpr, env *absint.Env[absint.Interval]) {
+	tv, ok := pass.Pkg.Info.Types[ix.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array:
+	case *types.Pointer:
+		if _, isArr := tv.Type.Underlying().(*types.Pointer).Elem().Underlying().(*types.Array); !isArr {
+			return
+		}
+	default:
+		return
+	}
+	idx := ev.Expr(ix.Index, env)
+	if !idx.Known {
+		return
+	}
+	if idx.Hi < 0 {
+		pass.Reportf(ix.Index.Pos(), "index %s has range %s, which is negative on every path", render(ix.Index), idx)
+		return
+	}
+	ln, ok := ev.LenOf(ix.X, env)
+	if !ok || !ln.Known || math.IsInf(ln.Hi, 1) {
+		return
+	}
+	if idx.Lo >= ln.Hi {
+		pass.Reportf(ix.Index.Pos(), "index %s has range %s, but %s has at most %s elements; every path reads out of range",
+			render(ix.Index), idx, render(ix.X), trimFloatStr(ln.Hi))
+	}
+}
+
+// checkCallArgs reports definitely-negative arguments bound to parameters
+// that carry a non-negative physical unit.
+func (st *rangeState) checkCallArgs(pass *Pass, ev *absint.IntervalEval, call *ast.CallExpr, env *absint.Env[absint.Interval]) {
+	obj := flow.CalleeObj(pass.Pkg.Info, call)
+	if obj == nil || call.Ellipsis.IsValid() {
+		return
+	}
+	sum := st.paramUnits[obj]
+	if sum == nil {
+		return
+	}
+	n := len(sum.params)
+	if sum.variadic {
+		n--
+	}
+	if len(call.Args) < n {
+		n = len(call.Args)
+	}
+	for i := 0; i < n; i++ {
+		if !nonNegUnit(sum.params[i]) {
+			continue
+		}
+		iv := ev.Expr(call.Args[i], env)
+		if !iv.DefinitelyNegative() {
+			continue
+		}
+		pass.Reportf(call.Args[i].Pos(),
+			"%s has range %s, which is negative on every path, but parameter %s of %s is a physical quantity (%s) that cannot be negative",
+			render(call.Args[i]), iv, sum.pnames[i], obj.Name(), sum.params[i])
+	}
+}
+
+// trimFloatStr renders a float bound compactly for messages.
+func trimFloatStr(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,109 @@
+// Package nilflowfix exercises the nilflow check: nil map writes and nil
+// dereferences the lattice can actually witness — a declaration without a
+// make, an initializer that runs on only one path — plus the
+// interprocedural demand summaries that map a callee's unguarded
+// dereference back to the call site that feeds it nil.
+package nilflowfix
+
+// Config is a pointer target for the dereference cases.
+type Config struct {
+	Name string
+}
+
+// NilMapWrite is reported: the map is declared but never made, so the
+// write panics on every path.
+func NilMapWrite() {
+	var idx map[string]int
+	idx["a"] = 1
+}
+
+// SomePath is reported: the map is made on the fast path only, and the
+// write sits past the merge.
+func SomePath(fast bool) {
+	var idx map[string]int
+	if fast {
+		idx = make(map[string]int)
+	}
+	idx["a"] = 1
+}
+
+// Made is clean: make dominates the write.
+func Made() map[string]int {
+	m := make(map[string]int)
+	m["a"] = 1
+	return m
+}
+
+// NilDeref is reported: c stays nil on the else path and the field read
+// dereferences it past the merge.
+func NilDeref(use bool) string {
+	var c *Config
+	if use {
+		c = &Config{Name: "x"}
+	}
+	return c.Name
+}
+
+// GuardedLocal is clean: the dereference runs only under the non-nil arm.
+func GuardedLocal(use bool) string {
+	var c *Config
+	if use {
+		c = &Config{Name: "x"}
+	}
+	if c != nil {
+		return c.Name
+	}
+	return ""
+}
+
+// ShortCircuit is clean: the right operand of || runs under c != nil.
+func ShortCircuit(use bool) bool {
+	var c *Config
+	if use {
+		c = &Config{Name: "x"}
+	}
+	return c == nil || c.Name == ""
+}
+
+// NilFunc is reported: fn is assigned on one path only and called past
+// the merge.
+func NilFunc(skip bool) int {
+	var fn func() int
+	if !skip {
+		fn = func() int { return 3 }
+	}
+	return fn()
+}
+
+// register writes into its parameter without a guard: callers owe it a
+// non-nil map, and the demand summary records the write site.
+func register(m map[string]int, k string) {
+	m[k] = 1
+}
+
+// NilArg is reported at the call site: a definitely-nil map flows into
+// register's demanding parameter.
+func NilArg() {
+	var m map[string]int
+	register(m, "a")
+}
+
+// registerSafe guards before writing: no demand.
+func registerSafe(m map[string]int, k string) {
+	if m == nil {
+		return
+	}
+	m[k] = 1
+}
+
+// NilArgSafe is clean: registerSafe tolerates nil.
+func NilArgSafe() {
+	var m map[string]int
+	registerSafe(m, "a")
+}
+
+// Waived carries a reasoned waiver on the nil write.
+func Waived() {
+	var m map[string]int
+	m["x"] = 1 //lint:allow nilflow fixture demonstrates waiver uptake on an intentional nil write
+}

@@ -1,0 +1,104 @@
+// Package rangefix exercises the rangecheck interval analysis: divisions
+// whose divisor provably admits zero, negative physical quantities flowing
+// into unit-carrying parameters, and indices provably outside a table. The
+// domain runs on evidence — every positive case below hands it a literal,
+// a branch merge, or a length fact; the clean cases show the refinements
+// (guards, short-circuits, the NonZero bit) that discharge the proof.
+package rangefix
+
+// Weight is reported: w is the merge of {0, 4}, so the divisor's range
+// [0, 4] contains zero on the slow path.
+func Weight(fast bool) float64 {
+	w := 0.0
+	if fast {
+		w = 4
+	}
+	return 100 / w
+}
+
+// GuardedWeight is clean: the guard refines w to (0, 4] before dividing.
+func GuardedWeight(fast bool) float64 {
+	w := 0.0
+	if fast {
+		w = 4
+	}
+	if w > 0 {
+		return 100 / w
+	}
+	return 0
+}
+
+// MixedSign is clean: the hull of {-2, 3} straddles zero, but the NonZero
+// bit survives the join — neither branch value is zero.
+func MixedSign(neg bool) int {
+	n := 3
+	if neg {
+		n = -2
+	}
+	return 100 / n
+}
+
+// ShortCircuit is clean: the right operand of && runs under d != 0.
+func ShortCircuit(fast bool) bool {
+	d := 0
+	if fast {
+		d = 8
+	}
+	return d != 0 && 16/d > 1
+}
+
+// Remainder is reported: the modulus buckets is the merge of {0, 16}.
+func Remainder(wide bool, k int) int {
+	buckets := 0
+	if wide {
+		buckets = 16
+	}
+	return k % buckets
+}
+
+// Burn consumes a non-negative physical quantity.
+func Burn(energyJ float64) float64 {
+	return energyJ * 2
+}
+
+// NegativeEnergy is reported: the folded constant -5 flows into Burn's
+// J-suffixed parameter.
+func NegativeEnergy() float64 {
+	return Burn(3 - 8)
+}
+
+// PositiveEnergy is clean: the argument is non-negative.
+func PositiveEnergy() float64 {
+	return Burn(8 - 3)
+}
+
+// TableOver is reported: idx is exactly 5, but the table holds 4 entries.
+func TableOver() float64 {
+	table := make([]float64, 4)
+	idx := 5
+	return table[idx]
+}
+
+// TableUnder is reported: the index is negative on every path.
+func TableUnder(table []float64) float64 {
+	idx := -1
+	return table[idx]
+}
+
+// LoopIndex is clean: a range-derived index stays within [0, len-1].
+func LoopIndex(xs []float64) float64 {
+	total := 0.0
+	for i := range xs {
+		total += xs[i]
+	}
+	return total
+}
+
+// Waived carries a reasoned waiver on the zero-capable division.
+func Waived(fast bool) float64 {
+	w := 0.0
+	if fast {
+		w = 2
+	}
+	return 50 / w //lint:allow rangecheck fixture demonstrates waiver uptake on a known-unreachable zero
+}

@@ -45,11 +45,12 @@ func LinearOPPTable(ladder []MHz, vMin, vMax Volts) *OPPTable {
 		panic("freq: empty frequency ladder")
 	}
 	lo, hi := ladder[0], ladder[len(ladder)-1]
+	span := hi - lo
 	pts := make([]OPP, 0, len(ladder))
 	for _, f := range ladder {
 		v := vMin
-		if hi > lo {
-			v = vMin + Volts(float64(vMax-vMin)*float64((f-lo)/(hi-lo)))
+		if span > 0 {
+			v = vMin + Volts(float64(vMax-vMin)*float64((f-lo)/span))
 		}
 		pts = append(pts, OPP{F: f, V: v})
 	}
@@ -101,7 +102,7 @@ func (t *OPPTable) VoltageAt(f MHz) (Volts, error) {
 		return pts[i].V, nil
 	}
 	lo, hi := pts[i-1], pts[i]
-	frac := float64((f - lo.F) / (hi.F - lo.F))
+	frac := float64((f - lo.F) / (hi.F - lo.F)) //lint:allow rangecheck adjacent OPPs are strictly increasing (NewOPPTable panics on duplicates), so the span is positive
 	return lo.V + Volts(frac*float64(hi.V-lo.V)), nil
 }
 

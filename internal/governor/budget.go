@@ -324,7 +324,7 @@ func (b *Budget) pickWithEmin(cands []candidate, emin float64, searched int) (De
 	if currentOK != nil {
 		return Decision{Setting: currentOK.st, Searched: searched}, nil
 	}
-	return Decision{Setting: opt.st, Searched: searched}, nil
+	return Decision{Setting: opt.st, Searched: searched}, nil //lint:allow nilflow admissible is never empty (fallback above) and its minimum-time candidate always sits inside its own tie band, so opt is assigned
 }
 
 // preferHigher mirrors the core package's tie-break rule.
