@@ -8,7 +8,12 @@
 
 GO ?= go
 
-.PHONY: verify race lint bench bench-vet loadtest all
+.PHONY: verify race lint bench bench-vet bench-sim bench-serve loadtest all
+
+# Benchmark iteration budget for the recorded tiers (bench-sim,
+# bench-serve). Counted iterations keep the records comparable across
+# machines of different speeds; raise locally for tighter numbers.
+BENCHTIME ?= 5x
 
 all: verify
 
@@ -30,6 +35,23 @@ loadtest:
 # Collection-engine speedup record: serial vs parallel fine-space sweeps.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCollect' -benchmem .
+
+# Simulator-core benchmark record: the columnar batch engine (serial and
+# parallel full-grid collection) against the retained scalar reference,
+# plus the per-sample wrapper, captured as BENCH_sim.json. CI diffs this
+# record against the base branch and fails >10% regressions of the
+# collection hot path (see .github/workflows/ci.yml).
+bench-sim:
+	$(GO) test -run '^$$' -bench 'BenchmarkCollect|BenchmarkGridCollection|BenchmarkSimulateSample' \
+		-benchtime $(BENCHTIME) -benchmem . \
+		| $(GO) run ./cmd/benchjson -out BENCH_sim.json
+
+# Daemon benchmark record: memoized /v1/optimal, cached /v1/grid, and
+# forced-recollection /v1/grid through mcdvfsd, captured as BENCH_serve.json.
+bench-serve:
+	$(GO) test ./internal/serve -run '^$$' -bench 'BenchmarkServe' \
+		-benchtime $(BENCHTIME) -benchmem \
+		| $(GO) run ./cmd/benchjson -out BENCH_serve.json
 
 # Analyzer benchmark record: the full mcdvfsvet suite (BenchmarkVet) and
 # the isolated abstract-interpretation tier (BenchmarkAbsint — rangecheck,

@@ -136,6 +136,28 @@ func BenchmarkCollect(b *testing.B) {
 	}
 }
 
+// BenchmarkCollectReference sweeps the same fine grid through the retained
+// scalar reference (per-cell model evaluation, no hoisting, no warm
+// starts) — the pre-columnar engine kept as the differential-test oracle.
+// The BenchmarkCollect/fine/serial : BenchmarkCollectReference/fine/serial
+// ratio is the batch engine's speedup; CI tracks both in BENCH_sim.json.
+func BenchmarkCollectReference(b *testing.B) {
+	sys, err := sim.New(sim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := workload.MustByName("gobmk").MustRealize()
+	b.Run("fine/serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, st := range freq.FineSpace().Settings() {
+				if _, err := sys.ReferenceRun(specs, st); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // --- Ablations (DESIGN.md §4) ---
 
 // BenchmarkAblationQueueing quantifies the M/M/1 queueing term against a

@@ -1,0 +1,191 @@
+// Command benchdiff compares two benchjson records and fails on
+// performance regressions. It is the CI gate for the collection hot path:
+// the bench job collects a fresh BENCH record on the head commit, rebuilds
+// the base branch's record the same way, and benchdiff refuses >threshold
+// regressions of ns/op or allocs/op.
+//
+//	benchdiff -base base/BENCH_sim.json -head BENCH_sim.json \
+//	    [-threshold 0.10] [-filter 'BenchmarkCollect/']
+//
+// Benchmarks present on only one side are reported informationally and
+// never fail the diff, so adding or renaming benchmarks does not require
+// lockstep changes on the base branch. Stdlib only, matching the repo's
+// no-dependency rule.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// Result and Record mirror cmd/benchjson's JSON schema (the two commands
+// are separate mains, so the types are duplicated rather than imported).
+type Result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+type Record struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Delta is one compared benchmark.
+type Delta struct {
+	Name       string
+	Base, Head Result
+	// NsRatio and AllocRatio are head/base; 1 means unchanged. AllocRatio
+	// is 1 when the base measured zero allocations and the head does too.
+	NsRatio    float64
+	AllocRatio float64
+	// Regressed marks a ratio above the threshold.
+	Regressed bool
+}
+
+func loadRecord(path string) (Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Record{}, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return Record{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// index keys results by name; a repeated name keeps the last measurement,
+// matching `go test -count` output order.
+func index(rec Record) map[string]Result {
+	m := make(map[string]Result, len(rec.Results))
+	for _, r := range rec.Results {
+		m[r.Name] = r
+	}
+	return m
+}
+
+// ratio returns head/base, treating a zero base as "no regression
+// detectable" (ratio 1) unless the head is non-zero, which reads as an
+// introduction and compares against the smallest measurable base.
+func ratio(base, head float64) float64 {
+	if base <= 0 {
+		if head <= 0 {
+			return 1
+		}
+		return head // vs an implicit base of 1 unit
+	}
+	return head / base
+}
+
+// compare matches the two records and flags regressions beyond threshold.
+// Only names matching filter (nil = all) participate.
+func compare(base, head Record, threshold float64, filter *regexp.Regexp) (deltas []Delta, onlyBase, onlyHead []string) {
+	b, h := index(base), index(head)
+	for name, hr := range h {
+		if filter != nil && !filter.MatchString(name) {
+			continue
+		}
+		br, ok := b[name]
+		if !ok {
+			onlyHead = append(onlyHead, name)
+			continue
+		}
+		d := Delta{
+			Name:       name,
+			Base:       br,
+			Head:       hr,
+			NsRatio:    ratio(br.NsPerOp, hr.NsPerOp),
+			AllocRatio: ratio(float64(br.AllocsPerOp), float64(hr.AllocsPerOp)),
+		}
+		d.Regressed = d.NsRatio > 1+threshold || d.AllocRatio > 1+threshold
+		deltas = append(deltas, d)
+	}
+	for name := range b {
+		if filter != nil && !filter.MatchString(name) {
+			continue
+		}
+		if _, ok := h[name]; !ok {
+			onlyBase = append(onlyBase, name)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	sort.Strings(onlyBase)
+	sort.Strings(onlyHead)
+	return deltas, onlyBase, onlyHead
+}
+
+// report renders the comparison and returns the number of regressions.
+func report(w io.Writer, deltas []Delta, onlyBase, onlyHead []string, threshold float64) int {
+	regressions := 0
+	for _, d := range deltas {
+		mark := "  "
+		if d.Regressed {
+			mark = "✗ "
+			regressions++
+		}
+		fmt.Fprintf(w, "%s%-60s ns/op %12.0f -> %12.0f (%+.1f%%)  allocs/op %6d -> %6d (%+.1f%%)\n",
+			mark, d.Name,
+			d.Base.NsPerOp, d.Head.NsPerOp, 100*(d.NsRatio-1),
+			d.Base.AllocsPerOp, d.Head.AllocsPerOp, 100*(d.AllocRatio-1))
+	}
+	for _, name := range onlyHead {
+		fmt.Fprintf(w, "+ %-60s only in head (no base to compare)\n", name)
+	}
+	for _, name := range onlyBase {
+		fmt.Fprintf(w, "- %-60s only in base (removed or renamed)\n", name)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", regressions, 100*threshold)
+	} else if len(deltas) > 0 {
+		fmt.Fprintf(w, "benchdiff: %d benchmark(s) within %.0f%% of base\n", len(deltas), 100*threshold)
+	} else {
+		fmt.Fprintln(w, "benchdiff: no comparable benchmarks")
+	}
+	return regressions
+}
+
+func main() {
+	basePath := flag.String("base", "", "baseline benchjson record (required)")
+	headPath := flag.String("head", "", "head benchjson record (required)")
+	threshold := flag.Float64("threshold", 0.10, "allowed fractional regression of ns/op or allocs/op")
+	filterExpr := flag.String("filter", "", "regexp restricting which benchmark names are compared")
+	flag.Parse()
+	if *basePath == "" || *headPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -base and -head are required")
+		os.Exit(2)
+	}
+	var filter *regexp.Regexp
+	if *filterExpr != "" {
+		var err error
+		if filter, err = regexp.Compile(*filterExpr); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: bad -filter: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	base, err := loadRecord(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	head, err := loadRecord(*headPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	deltas, onlyBase, onlyHead := compare(base, head, *threshold, filter)
+	if report(os.Stdout, deltas, onlyBase, onlyHead, *threshold) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func rec(results ...Result) Record { return Record{Results: results} }
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := rec(
+		Result{Name: "BenchmarkCollect/fine/serial", NsPerOp: 100e6, AllocsPerOp: 100},
+		Result{Name: "BenchmarkCollect/fine/workers=4", NsPerOp: 30e6, AllocsPerOp: 120},
+		Result{Name: "BenchmarkRemoved", NsPerOp: 5},
+	)
+	head := rec(
+		Result{Name: "BenchmarkCollect/fine/serial", NsPerOp: 125e6, AllocsPerOp: 100},   // +25% ns: regression
+		Result{Name: "BenchmarkCollect/fine/workers=4", NsPerOp: 31e6, AllocsPerOp: 125}, // within 10%
+		Result{Name: "BenchmarkNew", NsPerOp: 7},
+	)
+	deltas, onlyBase, onlyHead := compare(base, head, 0.10, nil)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2", len(deltas))
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if !byName["BenchmarkCollect/fine/serial"].Regressed {
+		t.Error("25% ns/op regression not flagged")
+	}
+	if byName["BenchmarkCollect/fine/workers=4"].Regressed {
+		t.Error("within-threshold change flagged")
+	}
+	if len(onlyBase) != 1 || onlyBase[0] != "BenchmarkRemoved" {
+		t.Errorf("onlyBase = %v", onlyBase)
+	}
+	if len(onlyHead) != 1 || onlyHead[0] != "BenchmarkNew" {
+		t.Errorf("onlyHead = %v", onlyHead)
+	}
+}
+
+func TestCompareFlagsAllocRegressions(t *testing.T) {
+	base := rec(Result{Name: "B", NsPerOp: 100, AllocsPerOp: 10})
+	head := rec(Result{Name: "B", NsPerOp: 100, AllocsPerOp: 12})
+	deltas, _, _ := compare(base, head, 0.10, nil)
+	if !deltas[0].Regressed {
+		t.Error("20% allocs/op regression not flagged")
+	}
+}
+
+func TestCompareZeroAllocBase(t *testing.T) {
+	// A zero-alloc benchmark staying zero-alloc must not divide by zero or
+	// flag; growing allocations from zero must flag.
+	base := rec(Result{Name: "B", NsPerOp: 100, AllocsPerOp: 0})
+	stay := rec(Result{Name: "B", NsPerOp: 100, AllocsPerOp: 0})
+	grow := rec(Result{Name: "B", NsPerOp: 100, AllocsPerOp: 40})
+	if d, _, _ := compare(base, stay, 0.10, nil); d[0].Regressed {
+		t.Error("zero->zero allocs flagged")
+	}
+	if d, _, _ := compare(base, grow, 0.10, nil); !d[0].Regressed {
+		t.Error("zero->40 allocs not flagged")
+	}
+}
+
+func TestCompareFilter(t *testing.T) {
+	base := rec(
+		Result{Name: "BenchmarkCollect/x", NsPerOp: 100},
+		Result{Name: "BenchmarkOther", NsPerOp: 100},
+	)
+	head := rec(
+		Result{Name: "BenchmarkCollect/x", NsPerOp: 500},
+		Result{Name: "BenchmarkOther", NsPerOp: 500},
+	)
+	deltas, _, _ := compare(base, head, 0.10, regexp.MustCompile(`^BenchmarkCollect/`))
+	if len(deltas) != 1 || deltas[0].Name != "BenchmarkCollect/x" {
+		t.Fatalf("filter leaked: %+v", deltas)
+	}
+}
+
+func TestReportCountsAndRenders(t *testing.T) {
+	base := rec(Result{Name: "B", NsPerOp: 100, AllocsPerOp: 10})
+	head := rec(Result{Name: "B", NsPerOp: 150, AllocsPerOp: 10})
+	deltas, ob, oh := compare(base, head, 0.10, nil)
+	var sb strings.Builder
+	if got := report(&sb, deltas, ob, oh, 0.10); got != 1 {
+		t.Fatalf("report counted %d regressions, want 1", got)
+	}
+	if !strings.Contains(sb.String(), "+50.0%") {
+		t.Errorf("report missing delta percentage: %q", sb.String())
+	}
+	// An empty intersection (e.g. the base branch predates the benchmarks)
+	// must report zero regressions so CI passes gracefully.
+	deltas, ob, oh = compare(rec(), head, 0.10, nil)
+	sb.Reset()
+	if got := report(&sb, deltas, ob, oh, 0.10); got != 0 {
+		t.Fatalf("empty base produced %d regressions", got)
+	}
+	if !strings.Contains(sb.String(), "only in head") {
+		t.Errorf("new benchmark not reported: %q", sb.String())
+	}
+}

@@ -86,6 +86,10 @@ func run(ctx context.Context, bench, workloadFile, spaceName, out string, worker
 	default:
 		return fmt.Errorf("missing -bench or -workload (use -list to see built-ins)")
 	}
+	if grid.ConvergenceFailures > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: warning: %d cells did not converge within solver tolerance; the grid carries their last iterates\n",
+			grid.ConvergenceFailures)
+	}
 	if out != "" {
 		f, err := os.Create(out)
 		if err != nil {

@@ -148,6 +148,44 @@ func (m *Model) Energy(f freq.MHz, activity, durationNS float64) (float64, error
 	return b.TotalW() * durationNS * 1e-9, nil
 }
 
+// Coeffs packs the per-frequency invariants of the power model — the
+// component powers with the V²f scaling already applied — hoisted once per
+// operating point so energy can be evaluated per sample without repeating
+// the OPP voltage lookup and scaling-law arithmetic.
+//
+// EnergyJ mirrors Model.Energy operation-for-operation (same association
+// order), so for activities in [0,1] and non-negative durations the results
+// are bit-identical; TestCoeffsMatchModel pins the equivalence. Inputs are
+// not validated here.
+type Coeffs struct {
+	PeakClockedW float64 // PeakDynamicW · (f/FMax)(v/VMax)²; scale by activity
+	BackgroundW  float64 // clocked idle power at the operating point
+	LeakageW     float64 // leakage power at the operating point's voltage
+}
+
+// CoeffsAt hoists the power-model invariants for frequency f.
+func (m *Model) CoeffsAt(f freq.MHz) (Coeffs, error) {
+	v, err := m.p.OPPs.VoltageAt(f)
+	if err != nil {
+		return Coeffs{}, err
+	}
+	fr := float64(f / m.p.FMax)
+	vr := float64(v / m.p.VMax)
+	clocked := fr * vr * vr
+	return Coeffs{
+		PeakClockedW: m.p.PeakDynamicW * clocked,
+		BackgroundW:  m.p.BackgroundW * clocked,
+		LeakageW:     m.p.LeakageW * vr,
+	}, nil
+}
+
+// EnergyJ is the hoisted Model.Energy: joules over durationNS at the
+// hoisted operating point with the given average activity.
+func (c Coeffs) EnergyJ(activity, durationNS float64) float64 {
+	dyn := c.PeakClockedW * activity
+	return (dyn + c.BackgroundW + c.LeakageW) * durationNS * 1e-9
+}
+
 // EnergyPerCycle returns the active-execution energy cost of one cycle at
 // frequency f (dynamic at full activity plus background plus leakage,
 // divided by the clock rate). Useful for quick analytic comparisons.

@@ -2,9 +2,20 @@ package dram
 
 import (
 	"fmt"
+	"math"
 
 	"mcdvfs/internal/freq"
 )
+
+// RoundCount converts a fractional expected event count (accesses scaled by
+// a rate or mix fraction) to the nearest integer event count. This is the
+// single rounding rule for all count derivation: the previous inline
+// `int(x + 0.5)` idiom mis-rounds whenever x + 0.5 is not exactly
+// representable — for counts at or above 2^52 the addition itself rounds to
+// nearest-even and can push an exact integer count up by one — so large
+// grids accumulated inconsistent totals. math.Round has no intermediate
+// addition and is exact for every representable non-negative count.
+func RoundCount(x float64) int { return int(math.Round(x)) }
 
 // Counts tallies the command events issued over an interval, the inputs to
 // DRAMPower-style energy accounting.
@@ -77,6 +88,45 @@ func (m *EnergyModel) Energy(f freq.MHz, counts Counts, durationNS float64) (flo
 	// issue rate, which is zero in steady state. We therefore ignore
 	// counts.Refreshes here and expose them for validation only.
 	return e, nil
+}
+
+// EnergyCoeffs packs the per-clock invariants of the energy model — the
+// background power at the clock plus the (clock-invariant) per-event
+// energies — hoisted once per operating point for batch accounting.
+//
+// EnergyJ mirrors EnergyModel.Energy operation-for-operation (same term
+// order and association), so results are bit-identical for non-negative
+// durations; TestEnergyCoeffsMatchModel pins the equivalence. Inputs are
+// not validated here.
+type EnergyCoeffs struct {
+	BackgroundW float64 // background power at the clock, incl. amortized refresh
+	EActPreJ    float64
+	ERdBurstJ   float64
+	EWrBurstJ   float64
+}
+
+// CoeffsAt hoists the energy-model invariants for clock f.
+func (m *EnergyModel) CoeffsAt(f freq.MHz) (EnergyCoeffs, error) {
+	bg, err := m.BackgroundPowerW(f)
+	if err != nil {
+		return EnergyCoeffs{}, err
+	}
+	return EnergyCoeffs{
+		BackgroundW: bg,
+		EActPreJ:    m.dev.EActPreJ,
+		ERdBurstJ:   m.dev.ERdBurstJ,
+		EWrBurstJ:   m.dev.EWrBurstJ,
+	}, nil
+}
+
+// EnergyJ is the hoisted EnergyModel.Energy: joules over durationNS at the
+// hoisted clock given the event counts.
+func (c EnergyCoeffs) EnergyJ(counts Counts, durationNS float64) float64 {
+	e := c.BackgroundW * durationNS * 1e-9
+	e += float64(counts.Activates) * c.EActPreJ
+	e += float64(counts.Reads) * c.ERdBurstJ
+	e += float64(counts.Writes) * c.EWrBurstJ
+	return e
 }
 
 // AccessEnergyJ returns the incremental energy of one access: the burst

@@ -1,0 +1,66 @@
+package memctrl
+
+// Equivalence suite pinning the hoisted Coeffs evaluation to the Model
+// methods bit-for-bit: the batch simulator's correctness rests on CoeffsAt
+// + the Coeffs methods being a pure reassociation-free hoisting of
+// AvgLatencyNS / MinServiceTimeNS.
+
+import (
+	"testing"
+
+	"mcdvfs/internal/dram"
+	"mcdvfs/internal/freq"
+)
+
+func TestCoeffsMatchModel(t *testing.T) {
+	m := MustNew(dram.DefaultDevice())
+	loads := []Load{
+		{},
+		{AccessPerNS: 0.001, RowHitRate: 0.9, WriteFrac: 0.1},
+		{AccessPerNS: 0.02, RowHitRate: 0.6, WriteFrac: 0.3},
+		{AccessPerNS: 0.2, RowHitRate: 0, WriteFrac: 1}, // beyond the util cap
+		{AccessPerNS: 0.05, RowHitRate: 1, WriteFrac: 0.5},
+	}
+	for _, f := range freq.FineSpace().MemLadder() {
+		c, err := m.CoeffsAt(f)
+		if err != nil {
+			t.Fatalf("CoeffsAt(%v): %v", f, err)
+		}
+		for _, l := range loads {
+			want, err := m.AvgLatencyNS(f, l)
+			if err != nil {
+				t.Fatalf("AvgLatencyNS(%v, %+v): %v", f, l, err)
+			}
+			got := c.CoreServiceNS(l.RowHitRate) + c.QueueNS(l.AccessPerNS, c.ServiceNS(l.WriteFrac))
+			if got != want {
+				t.Errorf("f=%v load=%+v: coeffs latency %v != model %v", f, l, got, want)
+			}
+			core, err := m.CoreServiceNS(f, l.RowHitRate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.CoreServiceNS(l.RowHitRate) != core {
+				t.Errorf("f=%v: coeffs core %v != model %v", f, c.CoreServiceNS(l.RowHitRate), core)
+			}
+		}
+		for _, n := range []float64{0, 1, 1500.5, 6e5} {
+			want, err := m.MinServiceTimeNS(f, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := c.MinServiceTimeNS(n); got != want {
+				t.Errorf("f=%v n=%v: coeffs bound %v != model %v", f, n, got, want)
+			}
+		}
+	}
+}
+
+func TestCoeffsAtRejectsBadClock(t *testing.T) {
+	m := MustNew(dram.DefaultDevice())
+	if _, err := m.CoeffsAt(100); err == nil {
+		t.Error("under-range clock accepted")
+	}
+	if _, err := m.CoeffsAt(5000); err == nil {
+		t.Error("over-range clock accepted")
+	}
+}

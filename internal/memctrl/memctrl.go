@@ -138,3 +138,67 @@ func (m *Model) MinServiceTimeNS(f freq.MHz, n float64) (float64, error) {
 	}
 	return n * m.dev.LineTransferNS(f) / (1 - m.dev.RefreshOverhead()), nil
 }
+
+// Coeffs packs every clock-dependent invariant of the latency model, hoisted
+// once per operating point so a fixed-point solver can evaluate the model in
+// a handful of floating-point operations per iteration instead of
+// re-deriving (and re-validating) device timings on every call.
+//
+// The evaluation methods mirror Model.AvgLatencyNS and Model.MinServiceTimeNS
+// operation-for-operation — same terms, same association order — so for
+// inputs the Model methods would accept, the results are bit-identical. The
+// equivalence is pinned by TestCoeffsMatchModel. Inputs are NOT validated
+// here; callers hoist validation alongside the coefficients.
+type Coeffs struct {
+	RowHitNS       float64 // device row-hit latency at the clock
+	RowMissNS      float64 // device row-miss (conflict) latency at the clock
+	RefreshDenom   float64 // 1 - refresh overhead, the availability fraction
+	LineTransferNS float64 // data-bus time per cache line at the clock
+	TWRns          float64 // write recovery, folded into write service time
+	UtilCap        float64 // queueing-term utilization cap
+}
+
+// CoeffsAt hoists the latency-model invariants for clock f.
+func (m *Model) CoeffsAt(f freq.MHz) (Coeffs, error) {
+	if err := m.dev.CheckClock(f); err != nil {
+		return Coeffs{}, err
+	}
+	return Coeffs{
+		RowHitNS:       m.dev.RowHitNS(f),
+		RowMissNS:      m.dev.RowMissNS(f),
+		RefreshDenom:   1 - m.dev.RefreshOverhead(),
+		LineTransferNS: m.dev.LineTransferNS(f),
+		TWRns:          m.dev.TWRns,
+		UtilCap:        m.utilCap,
+	}, nil
+}
+
+// CoreServiceNS is the hoisted Model.CoreServiceNS: the load-independent
+// row-hit/row-miss latency mix inflated by refresh unavailability.
+func (c Coeffs) CoreServiceNS(rowHitRate float64) float64 {
+	mix := rowHitRate*c.RowHitNS + (1-rowHitRate)*c.RowMissNS
+	return mix / c.RefreshDenom
+}
+
+// ServiceNS is the contended service time of the queueing term: the line
+// transfer plus the write-recovery share for the workload's write mix.
+func (c Coeffs) ServiceNS(writeFrac float64) float64 {
+	return c.LineTransferNS + writeFrac*c.TWRns*0.5
+}
+
+// QueueNS is the M/M/1-style waiting time at the given arrival rate, with
+// serviceNS precomputed by ServiceNS. CoreServiceNS(h) + QueueNS(r, s)
+// equals Model.AvgLatencyNS bit-for-bit.
+func (c Coeffs) QueueNS(accessPerNS, serviceNS float64) float64 {
+	util := accessPerNS * c.LineTransferNS
+	if util > c.UtilCap {
+		util = c.UtilCap
+	}
+	return util / (1 - util) * serviceNS
+}
+
+// MinServiceTimeNS is the hoisted Model.MinServiceTimeNS bandwidth bound for
+// n cache-line accesses.
+func (c Coeffs) MinServiceTimeNS(n float64) float64 {
+	return n * c.LineTransferNS / c.RefreshDenom
+}

@@ -236,9 +236,9 @@ func (m *CrossComponent) PredictCounters(c Counters, st freq.Setting) (timeNS, e
 	}
 	lineBursts := float64(m.mem.Device().LineBursts())
 	counts := dram.Counts{
-		Reads:     int(accesses*(1-c.WriteFrac)*lineBursts + 0.5),
-		Writes:    int(accesses*c.WriteFrac*lineBursts + 0.5),
-		Activates: int(accesses*(1-c.RowHitRate) + 0.5),
+		Reads:     dram.RoundCount(accesses * (1 - c.WriteFrac) * lineBursts),
+		Writes:    dram.RoundCount(accesses * c.WriteFrac * lineBursts),
+		Activates: dram.RoundCount(accesses * (1 - c.RowHitRate)),
 	}
 	memE, err := m.mem.Energy(st.Mem, counts, t)
 	if err != nil {

@@ -18,6 +18,11 @@ type Source struct {
 // New returns a generator seeded with seed.
 func New(seed uint64) *Source { return &Source{state: seed} }
 
+// Value returns a generator seeded with seed as a value, for hot paths that
+// keep the source on the stack instead of allocating. A Value-seeded source
+// produces the identical stream to New(seed).
+func Value(seed uint64) Source { return Source{state: seed} }
+
 // Derive returns a new independent generator deterministically derived from
 // this generator's seed and the given stream identifier. It does not
 // advance the parent. Use it to give each (benchmark, sample) pair its own

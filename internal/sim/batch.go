@@ -1,0 +1,194 @@
+package sim
+
+// The columnar batch engine. Grid collection is the product's dominant
+// cost: every figure and every daemon request ultimately sweeps a realized
+// workload across a (CPU × memory) setting space, and the scalar path pays
+// per-call validation, model re-derivation, and struct traffic for every
+// cell. A Runner instead ingests the realized specs once, lays the
+// per-sample inputs out as flat float64 columns (structure-of-arrays),
+// hoists every per-setting invariant via System.consts, and solves whole
+// setting-columns in a tight check-free loop — reusing its arenas across
+// columns so a full grid performs O(1) allocations per column.
+//
+// Adjacent operating points share the workload trace, so the Runner can
+// seed each cell's fixed-point iteration from the time the same sample
+// converged to at the previously solved setting (Solve with warm=true)
+// instead of the unloaded-latency cold start. Warm starts reach the same
+// fixed point within fixedPointTol (pinned by property tests); callers that
+// need bit-identical agreement with SimulateSample use cold starts.
+
+import (
+	"fmt"
+
+	"mcdvfs/internal/dram"
+	"mcdvfs/internal/freq"
+	"mcdvfs/internal/rng"
+	"mcdvfs/internal/workload"
+)
+
+// Runner solves one realized workload across many settings through the
+// columnar batch path. It is NOT safe for concurrent use: each collection
+// worker owns its own Runner (the arenas are the point). The System behind
+// it may be shared freely.
+type Runner struct {
+	sys   *System
+	specs []workload.SampleSpec
+
+	// Per-sample input columns, fixed at construction.
+	instr     []float64 // float64(Instructions)
+	accesses  []float64 // instr·MPKI/1000
+	cpiNum    []float64 // instr·BaseCPI·cpiFactor — the computeNS numerator
+	mlp       []float64
+	rowHit    []float64
+	writeFrac []float64
+	counts    []dram.Counts // DRAM event counts (setting-independent)
+	noiseH    []uint64      // sample half of the noise-stream hash
+
+	// solvedNS is the pre-noise converged time of the last solved column,
+	// the warm-start seed vector for the next.
+	solvedNS  []float64
+	seedValid bool
+
+	// samples is the output arena; Solve returns it, overwritten per call.
+	samples []Sample
+
+	stats RunnerStats
+}
+
+// RunnerStats counts solver work across a Runner's lifetime.
+type RunnerStats struct {
+	// Columns and Cells count Solve calls and the samples they solved.
+	Columns uint64
+	Cells   uint64
+	// Iterations is the total number of fixed-point iterations performed —
+	// the denominator for measuring what warm starts save.
+	Iterations uint64
+	// ConvergenceFailures counts cells whose iteration exhausted
+	// fixedPointIters without meeting fixedPointTol. The scalar path used
+	// to accept these silently; the batch engine surfaces them.
+	ConvergenceFailures uint64
+}
+
+// NewRunner validates every spec once and lays the workload out in columns.
+func NewRunner(sys *System, specs []workload.SampleSpec) (*Runner, error) {
+	r := &Runner{
+		sys:       sys,
+		specs:     append([]workload.SampleSpec(nil), specs...),
+		instr:     make([]float64, len(specs)),
+		accesses:  make([]float64, len(specs)),
+		cpiNum:    make([]float64, len(specs)),
+		mlp:       make([]float64, len(specs)),
+		rowHit:    make([]float64, len(specs)),
+		writeFrac: make([]float64, len(specs)),
+		counts:    make([]dram.Counts, len(specs)),
+		noiseH:    make([]uint64, len(specs)),
+		solvedNS:  make([]float64, len(specs)),
+		samples:   make([]Sample, len(specs)),
+	}
+	for i, spec := range specs {
+		if err := validateSpec(spec); err != nil {
+			return nil, fmt.Errorf("sample %d: %w", i, err)
+		}
+		n := float64(spec.Instructions)
+		accesses := n * spec.MPKI / 1000
+		r.instr[i] = n
+		r.accesses[i] = accesses
+		// Same association order as the scalar reference:
+		// ((n·BaseCPI)·cpiFactor), divided by the clock rate per column.
+		r.cpiNum[i] = n * spec.BaseCPI * sys.cpiFactor
+		r.mlp[i] = spec.MLP
+		r.rowHit[i] = spec.RowHitRate
+		r.writeFrac[i] = spec.WriteFrac
+		r.counts[i] = dram.Counts{
+			Reads:     dram.RoundCount(accesses * (1 - spec.WriteFrac) * sys.lineBursts),
+			Writes:    dram.RoundCount(accesses * spec.WriteFrac * sys.lineBursts),
+			Activates: dram.RoundCount(accesses * (1 - spec.RowHitRate)),
+		}
+		r.noiseH[i] = sampleNoiseHash(spec)
+	}
+	return r, nil
+}
+
+// Len returns the number of samples per column.
+func (r *Runner) Len() int { return len(r.specs) }
+
+// Stats returns the accumulated solver counters.
+func (r *Runner) Stats() RunnerStats { return r.stats }
+
+// ResetSeed invalidates the warm-start vector; the next Solve cold-starts
+// even if called with warm=true. Collection workers call it between
+// unrelated setting chains.
+func (r *Runner) ResetSeed() { r.seedValid = false }
+
+// Solve simulates every sample at st and returns the finished column. The
+// returned slice is the Runner's arena: it is overwritten by the next Solve
+// and must be consumed (or copied) before then.
+//
+// With warm=false every cell cold-starts from the unloaded latency, making
+// the column bit-identical to per-cell SimulateSample calls. With warm=true
+// (and a previously solved column) each cell seeds its fixed point from the
+// time the same sample converged to at the previous setting — correct
+// whenever consecutive calls walk a contiguous chain of operating points,
+// and worth a third of the iterations on neighboring memory steps.
+func (r *Runner) Solve(st freq.Setting, warm bool) ([]Sample, error) {
+	c, err := r.sys.consts(st)
+	if err != nil {
+		return nil, err
+	}
+	warm = warm && r.seedValid
+	noise := r.sys.noise
+	iters := uint64(0)
+	failures := uint64(0)
+	for i := range r.instr {
+		accesses := r.accesses[i]
+		computeNS := r.cpiNum[i] / c.cyclesPerNS
+		coreNS := c.lat.CoreServiceNS(r.rowHit[i])
+		serviceNS := c.lat.ServiceNS(r.writeFrac[i])
+		bwBoundNS := c.lat.MinServiceTimeNS(accesses)
+		seedNS := coldStart
+		if warm {
+			seedNS = r.solvedNS[i]
+		}
+		t, n, converged := solveTimeNS(computeNS, accesses, r.mlp[i], coreNS, serviceNS, bwBoundNS, c.lat, seedNS)
+		r.solvedNS[i] = t
+		iters += uint64(n)
+		if !converged {
+			failures++
+		}
+
+		activity := 1.0
+		if t > 0 {
+			activity = computeNS / t
+		}
+		if activity > 1 {
+			activity = 1
+		}
+
+		cpuE := c.cpu.EnergyJ(activity, t)
+		memE := c.mem.EnergyJ(r.counts[i], t)
+
+		if noise > 0 {
+			src := rng.Value(r.noiseH[i] ^ c.noiseHash)
+			t *= src.LogNormFactor(noise)
+			cpuE *= src.LogNormFactor(noise)
+			memE *= src.LogNormFactor(noise)
+		}
+
+		r.samples[i] = Sample{
+			Instructions: r.specs[i].Instructions,
+			TimeNS:       t,
+			CPUEnergyJ:   cpuE,
+			MemEnergyJ:   memE,
+			CPI:          t * c.cyclesPerNS / r.instr[i],
+			MPKI:         r.specs[i].MPKI,
+			Activity:     activity,
+			Converged:    converged,
+		}
+	}
+	r.seedValid = true
+	r.stats.Columns++
+	r.stats.Cells += uint64(len(r.instr))
+	r.stats.Iterations += iters
+	r.stats.ConvergenceFailures += failures
+	return r.samples, nil
+}

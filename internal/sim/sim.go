@@ -23,6 +23,17 @@
 // CPU frequency inflates the *cycle* cost of memory stalls, raising memory
 // frequency shrinks burst time and queueing, and the benefit of each knob
 // depends on the workload's CPU/memory mix.
+//
+// # Engine layers
+//
+// The hot path is the columnar batch engine (Runner, batch.go): grid
+// collection lays the realized workload out as flat per-sample arrays and
+// solves whole setting-columns with every per-setting invariant hoisted,
+// optionally warm-starting each cell's fixed point from the neighboring
+// operating point. SimulateSample is the thin single-sample wrapper over
+// the same solver core for governors, the daemon, and experiments. The
+// pre-columnar scalar implementation is retained verbatim (reference.go)
+// as the oracle for the differential test suite.
 package sim
 
 import (
@@ -74,11 +85,12 @@ func NoiselessConfig() Config {
 // System simulates one platform. It is safe for concurrent use: all state
 // is immutable after construction.
 type System struct {
-	cpu       *cpupower.Model
-	mem       *dram.EnergyModel
-	ctrl      *memctrl.Model
-	noise     float64
-	cpiFactor float64
+	cpu        *cpupower.Model
+	mem        *dram.EnergyModel
+	ctrl       *memctrl.Model
+	noise      float64
+	cpiFactor  float64
+	lineBursts float64 // bursts per cache-line access, cached for counts
 }
 
 // New builds a System from cfg.
@@ -105,7 +117,14 @@ func New(cfg Config) (*System, error) {
 	if cpiFactor < 0.1 || cpiFactor > 10 {
 		return nil, fmt.Errorf("sim: CPI factor %v outside [0.1, 10]", cfg.CPIFactor)
 	}
-	return &System{cpu: cpu, mem: mem, ctrl: ctrl, noise: cfg.MeasurementNoise, cpiFactor: cpiFactor}, nil
+	return &System{
+		cpu:        cpu,
+		mem:        mem,
+		ctrl:       ctrl,
+		noise:      cfg.MeasurementNoise,
+		cpiFactor:  cpiFactor,
+		lineBursts: float64(mem.Device().LineBursts()),
+	}, nil
 }
 
 // MustNew is New for static configuration; it panics on error.
@@ -131,6 +150,11 @@ type Sample struct {
 	MPKI float64
 	// Activity is the fraction of time the core computed (vs stalled).
 	Activity float64
+	// Converged reports whether the fixed-point solver met fixedPointTol
+	// within fixedPointIters. An unconverged sample carries the last
+	// iterate — finite, but up to the damping oscillation away from the
+	// true fixed point — and is counted by the collection engine.
+	Converged bool
 }
 
 // EnergyJ returns total sample energy.
@@ -141,55 +165,135 @@ const (
 	fixedPointTol   = 1e-9 // relative change per iteration
 )
 
-// SimulateSample produces the measurement for one workload sample at one
-// setting.
-func (s *System) SimulateSample(spec workload.SampleSpec, st freq.Setting) (Sample, error) {
-	if spec.Instructions == 0 {
-		return Sample{}, fmt.Errorf("sim: sample with zero instructions")
-	}
-	if spec.BaseCPI <= 0 || spec.MLP < 1 {
-		return Sample{}, fmt.Errorf("sim: non-physical sample spec %+v", spec)
-	}
-	n := float64(spec.Instructions)
-	accesses := n * spec.MPKI / 1000
-	cpuCyclesPerNS := st.CPU.CyclesPerNS()
-	computeNS := n * spec.BaseCPI * s.cpiFactor / cpuCyclesPerNS
+// coldStart is the seedNS sentinel selecting the unloaded-latency cold
+// start; any non-negative seed selects a warm start from that time.
+const coldStart = -1.0
 
-	// Fixed point on execution time. Start from the unloaded latency.
-	load := memctrl.Load{RowHitRate: spec.RowHitRate, WriteFrac: spec.WriteFrac}
-	lat0, err := s.ctrl.AvgLatencyNS(st.Mem, load)
+// settingConsts packs every per-setting invariant of the simulation: the
+// hoisted latency, CPU-power, and DRAM-energy coefficients plus the clock
+// rate and the setting's contribution to the noise hash. Deriving it once
+// per setting-column is what makes the batch engine fast — the fixed-point
+// loop then runs on a handful of local float64s.
+type settingConsts struct {
+	st          freq.Setting
+	cyclesPerNS float64
+	lat         memctrl.Coeffs
+	cpu         cpupower.Coeffs
+	mem         dram.EnergyCoeffs
+	noiseHash   uint64 // setting half of the noise-stream hash
+}
+
+// consts validates the setting against every component model and hoists the
+// per-setting invariants.
+func (s *System) consts(st freq.Setting) (settingConsts, error) {
+	lat, err := s.ctrl.CoeffsAt(st.Mem)
 	if err != nil {
-		return Sample{}, fmt.Errorf("sim: %w", err)
+		return settingConsts{}, fmt.Errorf("sim: %w", err)
 	}
-	bwBound, err := s.ctrl.MinServiceTimeNS(st.Mem, accesses)
+	cpuC, err := s.cpu.CoeffsAt(st.CPU)
 	if err != nil {
-		return Sample{}, fmt.Errorf("sim: %w", err)
+		return settingConsts{}, fmt.Errorf("sim: %w", err)
 	}
-	t := computeNS + accesses*lat0/spec.MLP
-	if t < bwBound {
-		t = bwBound
+	memC, err := s.mem.CoeffsAt(st.Mem)
+	if err != nil {
+		return settingConsts{}, fmt.Errorf("sim: %w", err)
+	}
+	return settingConsts{
+		st:          st,
+		cyclesPerNS: st.CPU.CyclesPerNS(),
+		lat:         lat,
+		cpu:         cpuC,
+		mem:         memC,
+		noiseHash:   settingNoiseHash(st),
+	}, nil
+}
+
+// validateSpec rejects the sample specs the solver cannot handle. The batch
+// engine validates once per sample at Runner construction (and
+// SimulateSample once per call) so the per-iteration loop is check-free.
+func validateSpec(spec workload.SampleSpec) error {
+	switch {
+	case spec.Instructions == 0:
+		return fmt.Errorf("sim: sample with zero instructions")
+	case !(spec.BaseCPI > 0) || math.IsInf(spec.BaseCPI, 0) || !(spec.MLP >= 1) || math.IsInf(spec.MLP, 0):
+		return fmt.Errorf("sim: non-physical sample spec %+v", spec)
+	case !(spec.MPKI >= 0) || math.IsInf(spec.MPKI, 0):
+		return fmt.Errorf("sim: non-physical MPKI %v", spec.MPKI)
+	case math.IsNaN(spec.RowHitRate) || spec.RowHitRate < 0 || spec.RowHitRate > 1:
+		return fmt.Errorf("sim: row hit rate %v outside [0,1]", spec.RowHitRate)
+	case math.IsNaN(spec.WriteFrac) || spec.WriteFrac < 0 || spec.WriteFrac > 1:
+		return fmt.Errorf("sim: write fraction %v outside [0,1]", spec.WriteFrac)
+	}
+	return nil
+}
+
+// solveTimeNS runs the damped fixed-point iteration on execution time with
+// every invariant prehoisted. seedNS selects the start: coldStart begins
+// from the unloaded latency (zero offered load makes the queueing term
+// vanish, so the unloaded latency is exactly the core service time); a
+// non-negative seed begins from that time, the warm start the batch engine
+// feeds from the neighboring operating point. The returned flag reports
+// whether the iteration met fixedPointTol.
+//
+// The loop body mirrors the retained scalar reference (reference.go)
+// operation-for-operation, so identical seeds produce bit-identical times.
+// iters reports the iterations consumed, the currency warm starts save.
+func solveTimeNS(computeNS, accesses, mlp, coreNS, serviceNS, bwBoundNS float64, lat memctrl.Coeffs, seedNS float64) (timeNS float64, iters int, converged bool) {
+	t := seedNS
+	if seedNS < 0 {
+		t = computeNS + accesses*coreNS/mlp
+	}
+	if t < bwBoundNS {
+		t = bwBoundNS
 	}
 	for i := 0; i < fixedPointIters; i++ {
-		load.AccessPerNS = 0
+		accessPerNS := 0.0
 		if t > 0 {
-			load.AccessPerNS = accesses / t
+			accessPerNS = accesses / t
 		}
-		lat, err := s.ctrl.AvgLatencyNS(st.Mem, load)
-		if err != nil {
-			return Sample{}, fmt.Errorf("sim: %w", err)
-		}
-		next := computeNS + accesses*lat/spec.MLP
-		if next < bwBound {
-			next = bwBound
+		latNS := coreNS + lat.QueueNS(accessPerNS, serviceNS)
+		next := computeNS + accesses*latNS/mlp
+		if next < bwBoundNS {
+			next = bwBoundNS
 		}
 		// Damp to guarantee convergence of the negative-feedback loop.
 		next = (next + t) / 2
 		if math.Abs(next-t) <= fixedPointTol*t {
-			t = next
-			break
+			return next, i + 1, true
 		}
 		t = next
 	}
+	return t, fixedPointIters, false
+}
+
+// SimulateSample produces the measurement for one workload sample at one
+// setting. It is the thin single-sample wrapper over the batch solver core;
+// sweeping many samples or settings is much faster through Runner.
+func (s *System) SimulateSample(spec workload.SampleSpec, st freq.Setting) (Sample, error) {
+	if err := validateSpec(spec); err != nil {
+		return Sample{}, err
+	}
+	c, err := s.consts(st)
+	if err != nil {
+		return Sample{}, err
+	}
+	smp, _ := s.simulateOne(spec, c, coldStart) //lint:allow rangecheck coldStart is the out-of-band sentinel for "no seed", not a physical time
+	return smp, nil
+}
+
+// simulateOne solves one validated sample at one hoisted setting, returning
+// the finished sample and the pre-noise converged time (the warm-start seed
+// for the neighboring operating point).
+func (s *System) simulateOne(spec workload.SampleSpec, c settingConsts, seedNS float64) (Sample, float64) {
+	n := float64(spec.Instructions)
+	accesses := n * spec.MPKI / 1000
+	computeNS := n * spec.BaseCPI * s.cpiFactor / c.cyclesPerNS
+	coreNS := c.lat.CoreServiceNS(spec.RowHitRate)
+	serviceNS := c.lat.ServiceNS(spec.WriteFrac)
+	bwBoundNS := c.lat.MinServiceTimeNS(accesses)
+
+	t, _, converged := solveTimeNS(computeNS, accesses, spec.MLP, coreNS, serviceNS, bwBoundNS, c.lat, seedNS)
+	solvedNS := t
 
 	activity := 1.0
 	if t > 0 {
@@ -199,25 +303,18 @@ func (s *System) SimulateSample(spec workload.SampleSpec, st freq.Setting) (Samp
 		activity = 1
 	}
 
-	cpuE, err := s.cpu.Energy(st.CPU, activity, t)
-	if err != nil {
-		return Sample{}, fmt.Errorf("sim: %w", err)
-	}
+	cpuE := c.cpu.EnergyJ(activity, t)
 	// Counts are in data bursts: each cache-line access moves LineBursts
 	// bursts; activates happen once per row miss.
-	lineBursts := float64(s.mem.Device().LineBursts())
 	counts := dram.Counts{
-		Reads:     int(accesses*(1-spec.WriteFrac)*lineBursts + 0.5),
-		Writes:    int(accesses*spec.WriteFrac*lineBursts + 0.5),
-		Activates: int(accesses*(1-spec.RowHitRate) + 0.5),
+		Reads:     dram.RoundCount(accesses * (1 - spec.WriteFrac) * s.lineBursts),
+		Writes:    dram.RoundCount(accesses * spec.WriteFrac * s.lineBursts),
+		Activates: dram.RoundCount(accesses * (1 - spec.RowHitRate)),
 	}
-	memE, err := s.mem.Energy(st.Mem, counts, t)
-	if err != nil {
-		return Sample{}, fmt.Errorf("sim: %w", err)
-	}
+	memE := c.mem.EnergyJ(counts, t)
 
 	if s.noise > 0 {
-		src := noiseSource(spec, st)
+		src := rng.Value(sampleNoiseHash(spec) ^ c.noiseHash)
 		t *= src.LogNormFactor(s.noise)
 		cpuE *= src.LogNormFactor(s.noise)
 		memE *= src.LogNormFactor(s.noise)
@@ -228,37 +325,43 @@ func (s *System) SimulateSample(spec workload.SampleSpec, st freq.Setting) (Samp
 		TimeNS:       t,
 		CPUEnergyJ:   cpuE,
 		MemEnergyJ:   memE,
-		CPI:          t * cpuCyclesPerNS / n,
+		CPI:          t * c.cyclesPerNS / n,
 		MPKI:         spec.MPKI,
 		Activity:     activity,
-	}, nil
+		Converged:    converged,
+	}, solvedNS
 }
 
-// noiseSource derives a deterministic noise stream from the sample's
-// realized characteristics and the setting, so identical collections see
-// identical noise while distinct samples, benchmarks, and settings see
-// independent draws.
-func noiseSource(spec workload.SampleSpec, st freq.Setting) *rng.Source {
-	h := uint64(spec.Index)*0x9e3779b97f4a7c15 ^
+// sampleNoiseHash is the sample half of the noise-stream hash; XORed with
+// settingNoiseHash it reproduces the scalar reference's noiseSource seed
+// exactly, so identical collections see identical noise while distinct
+// samples, benchmarks, and settings see independent draws.
+func sampleNoiseHash(spec workload.SampleSpec) uint64 {
+	return uint64(spec.Index)*0x9e3779b97f4a7c15 ^
 		math.Float64bits(spec.BaseCPI)*0xbf58476d1ce4e5b9 ^
-		math.Float64bits(spec.MPKI)*0x94d049bb133111eb ^
-		math.Float64bits(float64(st.CPU))*0xd6e8feb86659fd93 ^
+		math.Float64bits(spec.MPKI)*0x94d049bb133111eb
+}
+
+// settingNoiseHash is the setting half of the noise-stream hash.
+func settingNoiseHash(st freq.Setting) uint64 {
+	return math.Float64bits(float64(st.CPU))*0xd6e8feb86659fd93 ^
 		math.Float64bits(float64(st.Mem))*0xa5a5a5a5a5a5a5a5
-	return rng.New(h)
 }
 
 // SimulateRun simulates every sample of a realized workload at a fixed
-// setting and returns the per-sample measurements.
+// setting and returns the per-sample measurements. It runs through the
+// batch engine; callers needing many settings should hold a Runner and
+// sweep it directly.
 func (s *System) SimulateRun(specs []workload.SampleSpec, st freq.Setting) ([]Sample, error) {
-	out := make([]Sample, len(specs))
-	for i, spec := range specs {
-		smp, err := s.SimulateSample(spec, st)
-		if err != nil {
-			return nil, fmt.Errorf("sample %d: %w", i, err)
-		}
-		out[i] = smp
+	r, err := NewRunner(s, specs)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	col, err := r.Solve(st, false)
+	if err != nil {
+		return nil, err
+	}
+	return append([]Sample(nil), col...), nil
 }
 
 // Totals aggregates a sample slice.

@@ -113,7 +113,7 @@ func TestCollectOptionsWorkerResolution(t *testing.T) {
 		{0, 70, -1},  // default: GOMAXPROCS, capped below
 		{-3, 70, -1}, // negative behaves as default
 		{4, 70, 4},
-		{16, 5, 5}, // capped at the setting count
+		{16, 5, 5}, // capped at the chain count
 		{1, 70, 1},
 	}
 	for _, c := range cases {

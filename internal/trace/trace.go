@@ -44,6 +44,12 @@ type Grid struct {
 	SampleInstr uint64          `json:"sample_instructions"`
 	Settings    []freq.Setting  `json:"settings"`
 	Data        [][]Measurement `json:"data"`
+	// ConvergenceFailures counts cells whose fixed-point solve exhausted its
+	// iteration budget without meeting tolerance. Those cells carry the last
+	// iterate rather than the true fixed point; a non-zero count means the
+	// grid should be treated as approximate. Zero is omitted from JSON so
+	// grids serialized by earlier versions round-trip unchanged.
+	ConvergenceFailures uint64 `json:"convergence_failures,omitempty"`
 }
 
 // NumSamples returns the number of samples in the grid.
@@ -106,9 +112,10 @@ func (g *Grid) TotalEnergyJ(k freq.SettingID) float64 {
 // CollectOptions tunes the collection engine. The zero value selects the
 // defaults, so callers can pass CollectOptions{} for the standard sweep.
 type CollectOptions struct {
-	// Workers bounds the worker pool fanning out per-setting columns.
-	// Zero (or negative) means GOMAXPROCS; the pool is additionally capped
-	// at the setting count, since a worker's unit of work is one column.
+	// Workers bounds the worker pool. Zero (or negative) means GOMAXPROCS;
+	// the pool is additionally capped at the number of CPU-frequency chains,
+	// since a worker's unit of work is one chain (every memory step at one
+	// CPU step, solved in order so warm starts flow down the chain).
 	Workers int
 	// OnProgress, when non-nil, is invoked after each setting column
 	// completes with the number of finished columns and the space size. It
@@ -117,14 +124,15 @@ type CollectOptions struct {
 	OnProgress func(done, total int)
 }
 
-// workers resolves the effective pool size for a space.
-func (o CollectOptions) workers(settings int) int {
+// workers resolves the effective pool size for a space with the given
+// number of schedulable chains.
+func (o CollectOptions) workers(chains int) int {
 	w := o.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	if w > settings {
-		w = settings
+	if w > chains {
+		w = chains
 	}
 	return w
 }
@@ -137,15 +145,25 @@ func Collect(sys *sim.System, bench workload.Benchmark, space *freq.Space) (*Gri
 	return CollectContext(context.Background(), sys, bench, space, CollectOptions{})
 }
 
-// CollectContext is Collect with cancellation and tuning. It fans the
-// space's setting columns out over a bounded worker pool, each worker
-// writing into preallocated grid rows, so the result is byte-identical to
-// a serial (Workers: 1) sweep regardless of pool size: every cell is
-// computed by the same deterministic SimulateSample call and lands in its
-// preassigned slot.
+// CollectContext is Collect with cancellation and tuning. It runs the sweep
+// through the columnar batch engine (sim.Runner): the space is decomposed
+// into CPU-frequency chains — one chain is every memory step at one CPU
+// step, in ladder order — and chains are fanned out over a bounded worker
+// pool, each worker owning one Runner whose arenas are reused across every
+// column it solves.
+//
+// Within a chain, columns are solved in descending memory order and each
+// column after the first warm-starts its fixed-point solves from the
+// previous (faster) memory step's converged times — seeding from below, so
+// bandwidth-clamped cells converge instantly. Because the seed chain
+// restarts at every chain boundary and chains never share state, the grid
+// is byte-identical to a serial (Workers: 1) sweep at any pool size — and,
+// since warm and cold starts converge to the same fixed point within
+// solver tolerance, equal to the per-cell scalar reference within that
+// tolerance (bit-identical when cold-started; see the simdiff suite).
 //
 // The first simulation error cancels the remaining work and is returned.
-// If ctx is cancelled mid-sweep, workers stop at the next sample boundary
+// If ctx is cancelled mid-sweep, workers stop at the next column boundary
 // and CollectContext returns ctx's error; no partially filled grid is ever
 // returned.
 func CollectContext(ctx context.Context, sys *sim.System, bench workload.Benchmark, space *freq.Space, opts CollectOptions) (*Grid, error) {
@@ -162,11 +180,13 @@ func CollectContext(ctx context.Context, sys *sim.System, bench workload.Benchma
 	for s := range g.Data {
 		g.Data[s] = make([]Measurement, space.Len())
 	}
+	// Settings are CPU-major (freq.NewSpace): setting k = ci*nm + mi.
+	nc := len(space.CPULadder())
+	nm := len(space.MemLadder())
 
 	// Errgroup-style fan-out: the first failure records itself once and
-	// cancels the derived context, which every worker polls at each sample
-	// boundary so cancellation latency is one SimulateSample, not one
-	// column.
+	// cancels the derived context, which every worker polls at each column
+	// boundary so cancellation latency is one batch solve, not one chain.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -180,43 +200,54 @@ func CollectContext(ctx context.Context, sys *sim.System, bench workload.Benchma
 			cancel()
 		})
 	}
-	// Buffered to the full setting count: if workers exit early on error,
+	// Buffered to the full chain count: if workers exit early on error,
 	// the feeder below must never block on a channel nobody drains.
-	ids := make(chan int, space.Len())
+	chains := make(chan int, nc)
 	var columnsDone atomic.Int64
-	for w := 0; w < opts.workers(space.Len()); w++ {
+	var convergenceFailures atomic.Uint64
+	for w := 0; w < opts.workers(nc); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for k := range ids {
-				st := g.Settings[k]
-				for s, spec := range specs {
+			r, err := sim.NewRunner(sys, specs)
+			if err != nil {
+				fail(fmt.Errorf("trace: %w", err))
+				return
+			}
+			defer func() { convergenceFailures.Add(r.Stats().ConvergenceFailures) }()
+			for ci := range chains {
+				r.ResetSeed()
+				for mi := nm - 1; mi >= 0; mi-- {
 					if ctx.Err() != nil {
 						return
 					}
-					m, err := sys.SimulateSample(spec, st)
+					k := ci*nm + mi
+					st := g.Settings[k]
+					col, err := r.Solve(st, mi < nm-1)
 					if err != nil {
-						fail(fmt.Errorf("trace: setting %v sample %d: %w", st, s, err))
+						fail(fmt.Errorf("trace: setting %v: %w", st, err))
 						return
 					}
-					g.Data[s][k] = Measurement{
-						TimeNS:     m.TimeNS,
-						CPUEnergyJ: m.CPUEnergyJ,
-						MemEnergyJ: m.MemEnergyJ,
-						CPI:        m.CPI,
-						MPKI:       m.MPKI,
+					for s, m := range col {
+						g.Data[s][k] = Measurement{
+							TimeNS:     m.TimeNS,
+							CPUEnergyJ: m.CPUEnergyJ,
+							MemEnergyJ: m.MemEnergyJ,
+							CPI:        m.CPI,
+							MPKI:       m.MPKI,
+						}
 					}
-				}
-				if opts.OnProgress != nil {
-					opts.OnProgress(int(columnsDone.Add(1)), space.Len())
+					if opts.OnProgress != nil {
+						opts.OnProgress(int(columnsDone.Add(1)), space.Len())
+					}
 				}
 			}
 		}()
 	}
-	for k := range g.Settings {
-		ids <- k
+	for ci := 0; ci < nc; ci++ {
+		chains <- ci
 	}
-	close(ids)
+	close(chains)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
@@ -224,6 +255,7 @@ func CollectContext(ctx context.Context, sys *sim.System, bench workload.Benchma
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	g.ConvergenceFailures = convergenceFailures.Load()
 	return g, nil
 }
 
