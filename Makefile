@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: verify race lint bench bench-vet bench-sim bench-serve loadtest all
+.PHONY: verify race lint bench bench-vet bench-sim bench-serve loadtest fuzz all
 
 # Benchmark iteration budget for the recorded tiers (bench-sim,
 # bench-serve). Counted iterations keep the records comparable across
@@ -31,6 +31,15 @@ race:
 # demand, cached /v1/optimal p99 under 10ms (see DESIGN.md §8).
 loadtest:
 	$(GO) test ./internal/serve -run TestLoadSmoke -count=1 -v -args -loadsmoke=5s
+
+# Differential-fuzz smoke tier: FUZZTIME of FuzzBatchVsScalar, the
+# bit-identity oracle between the columnar batch engine and the retained
+# scalar reference, starting from the committed seed corpus
+# (internal/sim/testdata/fuzz/FuzzBatchVsScalar). New crashers land in that
+# directory; CI uploads them as artifacts so a red run ships its repro.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/sim -run '^$$' -fuzz '^FuzzBatchVsScalar$$' -fuzztime $(FUZZTIME)
 
 # Collection-engine speedup record: serial vs parallel fine-space sweeps.
 bench:

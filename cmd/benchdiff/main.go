@@ -7,10 +7,13 @@
 //	benchdiff -base base/BENCH_sim.json -head BENCH_sim.json \
 //	    [-threshold 0.10] [-filter 'BenchmarkCollect/']
 //
-// Benchmarks present on only one side are reported informationally and
-// never fail the diff, so adding or renaming benchmarks does not require
-// lockstep changes on the base branch. Stdlib only, matching the repo's
-// no-dependency rule.
+// Benchmarks present only in the head are reported informationally — new
+// coverage needs no lockstep change on the base branch. Benchmarks present
+// in the base but missing from the head FAIL the diff: a benchmark that
+// silently disappears is how a perf gate stops gating (a rename looks like
+// a removal plus an addition, so renames must land the new name before
+// retiring the old one, or adjust -filter). Stdlib only, matching the
+// repo's no-dependency rule.
 package main
 
 import (
@@ -126,7 +129,8 @@ func compare(base, head Record, threshold float64, filter *regexp.Regexp) (delta
 	return deltas, onlyBase, onlyHead
 }
 
-// report renders the comparison and returns the number of regressions.
+// report renders the comparison and returns the number of failures:
+// regressions beyond threshold plus benchmarks the head record dropped.
 func report(w io.Writer, deltas []Delta, onlyBase, onlyHead []string, threshold float64) int {
 	regressions := 0
 	for _, d := range deltas {
@@ -144,16 +148,22 @@ func report(w io.Writer, deltas []Delta, onlyBase, onlyHead []string, threshold 
 		fmt.Fprintf(w, "+ %-60s only in head (no base to compare)\n", name)
 	}
 	for _, name := range onlyBase {
-		fmt.Fprintf(w, "- %-60s only in base (removed or renamed)\n", name)
+		fmt.Fprintf(w, "✗ %-60s in base but missing from head: the gate no longer measures it (restore the benchmark, or land the rename on the base branch first)\n", name)
 	}
-	if regressions > 0 {
+	switch {
+	case regressions > 0 && len(onlyBase) > 0:
+		fmt.Fprintf(w, "benchdiff: %d benchmark(s) regressed beyond %.0f%%, %d missing from head\n",
+			regressions, 100*threshold, len(onlyBase))
+	case regressions > 0:
 		fmt.Fprintf(w, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", regressions, 100*threshold)
-	} else if len(deltas) > 0 {
+	case len(onlyBase) > 0:
+		fmt.Fprintf(w, "benchdiff: %d benchmark(s) missing from head\n", len(onlyBase))
+	case len(deltas) > 0:
 		fmt.Fprintf(w, "benchdiff: %d benchmark(s) within %.0f%% of base\n", len(deltas), 100*threshold)
-	} else {
+	default:
 		fmt.Fprintln(w, "benchdiff: no comparable benchmarks")
 	}
-	return regressions
+	return regressions + len(onlyBase)
 }
 
 func main() {

@@ -79,6 +79,32 @@ func TestCompareFilter(t *testing.T) {
 	}
 }
 
+func TestReportFailsOnMissingFromHead(t *testing.T) {
+	// A benchmark the base measured but the head record dropped must fail
+	// the diff with a message naming it: a silently vanished benchmark is a
+	// gate that stopped gating.
+	base := rec(
+		Result{Name: "BenchmarkCollect/fine/serial", NsPerOp: 100e6, AllocsPerOp: 100},
+		Result{Name: "BenchmarkCollect/fine/workers=4", NsPerOp: 30e6, AllocsPerOp: 120},
+	)
+	head := rec(Result{Name: "BenchmarkCollect/fine/serial", NsPerOp: 101e6, AllocsPerOp: 100})
+	deltas, ob, oh := compare(base, head, 0.10, nil)
+	var sb strings.Builder
+	if got := report(&sb, deltas, ob, oh, 0.10); got != 1 {
+		t.Fatalf("report returned %d failures, want 1 for the missing benchmark", got)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "BenchmarkCollect/fine/workers=4") || !strings.Contains(out, "missing from head") {
+		t.Errorf("missing benchmark not named in failure output: %q", out)
+	}
+	// Filtered-out names must not fail: scoping the gate is deliberate.
+	deltas, ob, oh = compare(base, head, 0.10, regexp.MustCompile(`serial$`))
+	sb.Reset()
+	if got := report(&sb, deltas, ob, oh, 0.10); got != 0 {
+		t.Fatalf("filtered-out missing benchmark still failed: %d\n%s", got, sb.String())
+	}
+}
+
 func TestReportCountsAndRenders(t *testing.T) {
 	base := rec(Result{Name: "B", NsPerOp: 100, AllocsPerOp: 10})
 	head := rec(Result{Name: "B", NsPerOp: 150, AllocsPerOp: 10})

@@ -31,6 +31,10 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		if g.ConvergenceFailures > 0 {
+			fmt.Fprintf(os.Stderr, "calibrate: warning: %s: %d cells did not converge within solver tolerance; the grid carries their last iterates\n",
+				name, g.ConvergenceFailures)
+		}
 		a, err := mcdvfs.Analyze(g)
 		if err != nil {
 			return err

@@ -2,11 +2,16 @@
 // (internal/analysis): determinism (including purity summaries that trace
 // entropy through helper calls), interprocedural unit safety, float
 // equality, context discipline, lock hygiene, goroutine-leak, lock-order,
-// error-flow, and the abstract-interpretation checks — rangecheck
+// error-flow, the abstract-interpretation checks — rangecheck
 // (interval analysis: zero-capable divisors, negative physical quantities
 // at call boundaries, provably out-of-range table indices) and nilflow
 // (nil-ness analysis: nil map writes, nil dereferences reachable on some
-// path, nil arguments to parameters the callee dereferences). It is the
+// path, nil arguments to parameters the callee dereferences) — and the
+// simulator-core guards: hotpath (functions marked //vet:hotpath, and all
+// they statically call, are proven allocation-free — interface boxing,
+// escaping composite literals, unproven appends, map/chan/string traffic,
+// closures, defers in loops) and owned (values marked //vet:owned must not
+// leave their creating goroutine without //vet:transfer). It is the
 // `make lint` tier of `make verify`.
 //
 // Usage:

@@ -70,6 +70,10 @@ func cmdBuild(args []string) error {
 	if err != nil {
 		return err
 	}
+	if grid.ConvergenceFailures > 0 {
+		fmt.Fprintf(os.Stderr, "profile: warning: %d cells did not converge within solver tolerance; the grid carries their last iterates\n",
+			grid.ConvergenceFailures)
+	}
 	p, err := profile.Build(grid, *budget, *threshold)
 	if err != nil {
 		return err

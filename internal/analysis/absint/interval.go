@@ -251,6 +251,13 @@ func (ev *IntervalEval) callExpr(call *ast.CallExpr, env *Env[Interval]) Interva
 				if iv, ok := env.Path(path); ok {
 					return iv
 				}
+				// cap without its own fact is still bounded below by any
+				// length fact: cap(x) >= len(x) always.
+				if strings.HasPrefix(path, "cap(") {
+					if iv, ok := env.Path("len(" + strings.TrimPrefix(path, "cap(")); ok && iv.Known {
+						return Range(iv.Lo, inf)
+					}
+				}
 			}
 			if n, ok := staticLen(ev.Info, call.Args[0]); ok {
 				return Exact(float64(n))
@@ -294,7 +301,7 @@ func (ev *IntervalEval) Transfer(n ast.Node, env *Env[Interval]) {
 			delta = Exact(-1)
 		}
 		ev.sideEffects(n, env)
-		ev.write(n.X, addIv(cur, delta), Top(), false, env)
+		ev.write(n.X, addIv(cur, delta), contFacts{}, env)
 	case *ast.DeclStmt:
 		ev.declare(n, env)
 	case *ast.RangeStmt:
@@ -311,22 +318,21 @@ func (ev *IntervalEval) assign(as *ast.AssignStmt, env *Env[Interval]) {
 	case token.DEFINE, token.ASSIGN:
 		if len(as.Lhs) == len(as.Rhs) {
 			vals := make([]Interval, len(as.Rhs))
-			lens := make([]Interval, len(as.Rhs))
-			lensOK := make([]bool, len(as.Rhs))
+			conts := make([]contFacts, len(as.Rhs))
 			for i, r := range as.Rhs {
 				vals[i] = ev.Expr(r, env)
-				lens[i], lensOK[i] = ev.lenOf(r, env)
+				conts[i] = ev.contOf(r, env)
 			}
 			ev.sideEffects(as, env)
 			for i, l := range as.Lhs {
-				ev.write(l, vals[i], lens[i], lensOK[i], env)
+				ev.write(l, vals[i], conts[i], env)
 			}
 			return
 		}
 		// Tuple assignment from a call or comma-ok: results untracked.
 		ev.sideEffects(as, env)
 		for _, l := range as.Lhs {
-			ev.write(l, Top(), Top(), false, env)
+			ev.write(l, Top(), contFacts{}, env)
 		}
 	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN, token.REM_ASSIGN:
 		if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
@@ -348,12 +354,12 @@ func (ev *IntervalEval) assign(as *ast.AssignStmt, env *Env[Interval]) {
 			nv = modIv(cur, rhs)
 		}
 		ev.sideEffects(as, env)
-		ev.write(as.Lhs[0], nv, Top(), false, env)
+		ev.write(as.Lhs[0], nv, contFacts{}, env)
 	default:
 		// Bit-op assigns and anything exotic: clobber the target.
 		ev.sideEffects(as, env)
 		for _, l := range as.Lhs {
-			ev.write(l, Top(), Top(), false, env)
+			ev.write(l, Top(), contFacts{}, env)
 		}
 	}
 }
@@ -382,8 +388,7 @@ func (ev *IntervalEval) declare(d *ast.DeclStmt, env *Env[Interval]) {
 			}
 			if i < len(vs.Values) {
 				iv := ev.Expr(vs.Values[i], env)
-				ln, lok := ev.lenOf(vs.Values[i], env)
-				ev.write(name, iv, ln, lok, env)
+				ev.write(name, iv, ev.contOf(vs.Values[i], env), env)
 				continue
 			}
 			if len(vs.Values) > 0 {
@@ -393,7 +398,10 @@ func (ev *IntervalEval) declare(d *ast.DeclStmt, env *Env[Interval]) {
 				env.Vars[v] = Exact(0)
 			}
 			switch v.Type().Underlying().(type) {
-			case *types.Slice, *types.Map:
+			case *types.Slice:
+				env.Paths["len("+name.Name+")"] = Exact(0)
+				env.Paths["cap("+name.Name+")"] = Exact(0)
+			case *types.Map:
 				env.Paths["len("+name.Name+")"] = Exact(0)
 			}
 		}
@@ -436,17 +444,32 @@ func (ev *IntervalEval) rangeHead(r *ast.RangeStmt, env *Env[Interval]) {
 		}
 	}
 	if id, ok := r.Value.(*ast.Ident); ok && id.Name != "_" {
-		ev.write(id, Top(), Top(), false, env)
+		ev.write(id, Top(), contFacts{}, env)
 	}
 }
 
+// contFacts carries the container facts (length, capacity) of an RHS value
+// being written; each side is valid only when its OK bit is set.
+type contFacts struct {
+	len, cap     Interval
+	lenOK, capOK bool
+}
+
+// contOf bundles lenOf and capOf for a value about to be stored.
+func (ev *IntervalEval) contOf(e ast.Expr, env *Env[Interval]) contFacts {
+	var cf contFacts
+	cf.len, cf.lenOK = ev.lenOf(e, env)
+	cf.cap, cf.capOK = ev.capOf(e, env)
+	return cf
+}
+
 // write stores a fact at an assignable destination, invalidating whatever the
-// store makes stale. lenIv carries a length fact for container-valued RHS
-// (make, composite literal, append), valid when lenOK.
-func (ev *IntervalEval) write(lhs ast.Expr, val, lenIv Interval, lenOK bool, env *Env[Interval]) {
+// store makes stale. cf carries length/capacity facts for container-valued
+// RHS (make, composite literal, append).
+func (ev *IntervalEval) write(lhs ast.Expr, val Interval, cf contFacts, env *Env[Interval]) {
 	switch l := lhs.(type) {
 	case *ast.ParenExpr:
-		ev.write(l.X, val, lenIv, lenOK, env)
+		ev.write(l.X, val, cf, env)
 	case *ast.Ident:
 		if l.Name == "_" {
 			return
@@ -461,9 +484,7 @@ func (ev *IntervalEval) write(lhs ast.Expr, val, lenIv Interval, lenOK bool, env
 		} else {
 			delete(env.Vars, v)
 		}
-		if lenOK && lenIv.Known {
-			env.Paths["len("+l.Name+")"] = lenIv
-		}
+		writeContFacts(env, l.Name, cf)
 	case *ast.SelectorExpr:
 		path, _, ok := PathOf(ev.Info, l)
 		if !ok {
@@ -476,14 +497,21 @@ func (ev *IntervalEval) write(lhs ast.Expr, val, lenIv Interval, lenOK bool, env
 		if val.Known {
 			env.Paths[path] = val
 		}
-		if lenOK && lenIv.Known {
-			env.Paths["len("+path+")"] = lenIv
-		}
+		writeContFacts(env, path, cf)
 	case *ast.IndexExpr:
 		// Element writes don't change lengths and elements are untracked.
 	case *ast.StarExpr:
 		// A store through a pointer may alias any field anywhere.
 		invalidateDotted(env)
+	}
+}
+
+func writeContFacts(env *Env[Interval], path string, cf contFacts) {
+	if cf.lenOK && cf.len.Known {
+		env.Paths["len("+path+")"] = cf.len
+	}
+	if cf.capOK && cf.cap.Known {
+		env.Paths["cap("+path+")"] = cf.cap
 	}
 }
 
@@ -563,6 +591,83 @@ func (ev *IntervalEval) lenOf(e ast.Expr, env *Env[Interval]) (Interval, bool) {
 		}
 	}
 	return Top(), false
+}
+
+// CapOf exposes the capacity fact the evaluator holds for e, if any, so
+// checks can prove appends grow in place (len + k <= cap).
+func (ev *IntervalEval) CapOf(e ast.Expr, env *Env[Interval]) (Interval, bool) {
+	return ev.capOf(e, env)
+}
+
+// capOf produces a capacity fact for container-valued expressions. It
+// mirrors lenOf where capacities are determined: make sizes seed it, a slice
+// literal's capacity equals its length, and append never shrinks capacity.
+func (ev *IntervalEval) capOf(e ast.Expr, env *Env[Interval]) (Interval, bool) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return ev.capOf(e.X, env)
+	case *ast.Ident, *ast.SelectorExpr:
+		if path, _, ok := PathOf(ev.Info, e); ok {
+			if iv, ok := env.Path("cap(" + path + ")"); ok {
+				return iv, true
+			}
+		}
+		if tv, ok := ev.Info.Types[e]; ok {
+			if n, ok := arrayLen(tv.Type); ok {
+				return Exact(float64(n)), true
+			}
+		}
+		return Top(), false
+	case *ast.CompositeLit:
+		tv, ok := ev.Info.Types[e]
+		if !ok {
+			return Top(), false
+		}
+		if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
+			if ln, ok := ev.lenOf(e, env); ok {
+				return ln, true
+			}
+			return Top(), false
+		}
+		if n, ok := arrayLen(tv.Type); ok {
+			return Exact(float64(n)), true
+		}
+		return Top(), false
+	case *ast.CallExpr:
+		switch builtinName(ev.Info, e) {
+		case "make":
+			if _, isMap := typeUnder(ev.Info, e).(*types.Map); isMap {
+				return Top(), false // maps have no capacity fact
+			}
+			if len(e.Args) >= 3 {
+				return ev.Expr(e.Args[2], env), true
+			}
+			if len(e.Args) == 2 {
+				return ev.Expr(e.Args[1], env), true
+			}
+			if len(e.Args) == 1 { // make(chan T): unbuffered
+				return Exact(0), true
+			}
+		case "append":
+			if len(e.Args) == 0 {
+				return Top(), false
+			}
+			// In place or reallocated, append never returns a smaller
+			// capacity than its base.
+			if base, ok := ev.capOf(e.Args[0], env); ok && base.Known {
+				return Range(base.Lo, inf), true
+			}
+		}
+	}
+	return Top(), false
+}
+
+func typeUnder(info *types.Info, e ast.Expr) types.Type {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	return tv.Type.Underlying()
 }
 
 // sideEffects clobbers facts a node's calls or escapes could change: any
@@ -949,6 +1054,8 @@ func isOpaqueCall(info *types.Info, call *ast.CallExpr) bool {
 }
 
 // lenKey renders a len/cap call over a path-able argument as a fact key.
+// len and cap are distinct slots: a make(.., n, c) seeds both, and a guard
+// on one must not be read back as the other.
 func lenKey(info *types.Info, call *ast.CallExpr) (string, bool) {
 	name := builtinName(info, call)
 	if (name != "len" && name != "cap") || len(call.Args) != 1 {
@@ -958,7 +1065,7 @@ func lenKey(info *types.Info, call *ast.CallExpr) (string, bool) {
 	if !ok {
 		return "", false
 	}
-	return "len(" + path + ")", true
+	return name + "(" + path + ")", true
 }
 
 // staticLen resolves len of fixed-size arrays from the type alone.
@@ -1004,10 +1111,19 @@ func unparen(e ast.Expr) ast.Expr {
 	}
 }
 
-// rootName extracts the root identifier of a fact key: "m.dev.TRFCNs" and
-// "len(m.dev.Rows)" both root at "m".
+// bareKey strips a len(...) or cap(...) wrapper off a fact key, leaving the
+// underlying path.
+func bareKey(k string) string {
+	if strings.HasPrefix(k, "len(") || strings.HasPrefix(k, "cap(") {
+		return strings.TrimSuffix(k[4:], ")")
+	}
+	return k
+}
+
+// rootName extracts the root identifier of a fact key: "m.dev.TRFCNs",
+// "len(m.dev.Rows)", and "cap(m.dev.Rows)" all root at "m".
 func rootName(path string) string {
-	path = strings.TrimSuffix(strings.TrimPrefix(path, "len("), ")")
+	path = bareKey(path)
 	if i := strings.IndexByte(path, '.'); i >= 0 {
 		return path[:i]
 	}
@@ -1024,22 +1140,23 @@ func invalidateRoot(env *Env[Interval], name string) {
 	}
 }
 
-// invalidatePrefix drops path and everything nested under it, plus its len.
+// invalidatePrefix drops path and everything nested under it, plus its
+// len/cap facts.
 func invalidatePrefix(env *Env[Interval], path string) {
 	for k := range env.Paths {
-		bare := strings.TrimSuffix(strings.TrimPrefix(k, "len("), ")")
+		bare := bareKey(k)
 		if bare == path || strings.HasPrefix(bare, path+".") {
 			delete(env.Paths, k)
 		}
 	}
 }
 
-// invalidateDotted drops every field-path fact but keeps len() facts of plain
-// locals: a callee cannot change the length a caller-held slice header sees.
+// invalidateDotted drops every field-path fact but keeps len()/cap() facts of
+// plain locals: a callee cannot change the length a caller-held slice header
+// sees.
 func invalidateDotted(env *Env[Interval]) {
 	for k := range env.Paths {
-		bare := strings.TrimSuffix(strings.TrimPrefix(k, "len("), ")")
-		if strings.Contains(bare, ".") {
+		if strings.Contains(bareKey(k), ".") {
 			delete(env.Paths, k)
 		}
 	}

@@ -160,6 +160,8 @@ func Suite() []*Analyzer {
 		ErrFlowAnalyzer(),
 		RangeCheckAnalyzer(),
 		NilFlowAnalyzer(),
+		HotPathAnalyzer(),
+		OwnedAnalyzer(),
 	}
 }
 

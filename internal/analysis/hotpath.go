@@ -1,0 +1,1072 @@
+package analysis
+
+// The hotpath check: functions annotated //vet:hotpath — and everything they
+// transitively call through static calls — must be provably allocation-free.
+//
+// PR 6 made internal/sim.Runner a zero-alloc columnar engine, but that
+// invariant was only guarded dynamically, by one benchmark's allocs/op gate
+// on one function. This check moves the guard to lint time: a stray
+// interface boxing, escaping composite literal, or unbounded append anywhere
+// in the solve chain is reported file-and-line precise before a benchmark
+// ever runs.
+//
+// The analysis is deliberately a prover, not a profiler: anything it cannot
+// prove allocation-free (a call through an interface or function value, a
+// call into a stdlib package outside the small allowlist) is a finding. The
+// escape hatch is the ordinary //lint:allow hotpath waiver with a reason —
+// the triage discipline every other check in the suite uses.
+//
+// Cold paths are exempt: a node is cold when it sits inside a return
+// statement whose error result is non-nil, inside a panic argument, or when
+// every control-flow path from it reaches such an exit before any normal
+// return. Error construction (fmt.Errorf and its boxing) on guard-failure
+// paths therefore stays silent — those paths run zero times per grid cell.
+//
+// Appends use the absint interval domain's length/capacity facts: an append
+// is silent only when len(base) + k <= cap(base) is provable at the call
+// site (the arena discipline — preallocate in the constructor, refill in the
+// hot loop).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"math"
+	"strings"
+
+	"mcdvfs/internal/analysis/absint"
+	"mcdvfs/internal/analysis/flow"
+)
+
+// hotMark is the annotation that roots the analysis at a function.
+const hotMark = "//vet:hotpath"
+
+// HotPathAnalyzer builds the hotpath check.
+func HotPathAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "hotpath",
+		Doc:       "functions marked //vet:hotpath, and all they statically call, must be provably allocation-free",
+		Applies:   hotpathApplies,
+		RunModule: runHotPath,
+	}
+}
+
+// hotpathApplies scopes the check to the model/engine packages; the analysis
+// tooling itself allocates freely and is not simulator hot path.
+func hotpathApplies(path string) bool {
+	return strings.HasPrefix(path, "mcdvfs/internal/") &&
+		!strings.HasPrefix(path, "mcdvfs/internal/analysis")
+}
+
+// hotAnnotated reports whether fn carries the //vet:hotpath directive in its
+// doc comment. CommentGroup.Text strips directives, so the raw list is
+// scanned.
+func hotAnnotated(fn *flow.Func) bool {
+	if fn.Decl.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Decl.Doc.List {
+		if c.Text == hotMark || strings.HasPrefix(c.Text, hotMark+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// runHotPath walks the static call graph breadth-first from every annotated
+// root, scanning each reached function once. Attribution is first-root-wins
+// in declaration order, which is deterministic because Program.Funcs is.
+func runHotPath(mp *ModulePass) {
+	scoped := map[string]bool{}
+	for _, pkg := range mp.Pkgs {
+		scoped[pkg.Path] = true
+	}
+
+	var roots []*flow.Func
+	for _, fn := range mp.Prog.Funcs() {
+		if hotAnnotated(fn) {
+			roots = append(roots, fn)
+		}
+	}
+
+	visited := map[*flow.Func]bool{}
+	queue := make([]hotWork, 0, len(roots))
+	for _, r := range roots {
+		queue = append(queue, hotWork{fn: r, root: r})
+	}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		if visited[w.fn] {
+			continue
+		}
+		visited[w.fn] = true
+		s := &hotScan{
+			mp:     mp,
+			fn:     w.fn,
+			root:   w.root,
+			info:   w.fn.Pkg.Info,
+			report: scoped[w.fn.Pkg.Path],
+		}
+		s.scan()
+		for _, callee := range s.edges {
+			if !visited[callee] {
+				queue = append(queue, hotWork{fn: callee, root: w.root})
+			}
+		}
+	}
+}
+
+// hotWork is one BFS queue entry: a function and the annotated root whose
+// closure pulled it in.
+type hotWork struct {
+	fn, root *flow.Func
+}
+
+// hotScan analyzes one reached function.
+type hotScan struct {
+	mp     *ModulePass
+	fn     *flow.Func
+	root   *flow.Func
+	info   *types.Info
+	report bool
+
+	// edges are the static module callees reached from warm code, in call
+	// order, deduplicated.
+	edges    []*flow.Func
+	edgeSeen map[*flow.Func]bool
+
+	// parents maps every node in the body to its syntactic parent, built
+	// once for the confinement and method-value checks.
+	parents map[ast.Node]ast.Node
+
+	// coldSpans are source ranges that are cold by syntax alone: error
+	// returns and panic arguments.
+	coldSpans []hotSpan
+
+	// appends are append call sites awaiting the interval pass.
+	appends []*ast.CallExpr
+	// appendDone marks sites the CFG walk managed to evaluate.
+	appendDone map[*ast.CallExpr]bool
+}
+
+type hotSpan struct{ pos, end token.Pos }
+
+// hotExternPkgs are stdlib packages every function of which is trusted
+// allocation-free (pure math and lock/atomic primitives).
+var hotExternPkgs = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync/atomic": true,
+}
+
+// hotExternFuncs are individually trusted stdlib functions, keyed by
+// types.Func.FullName. sync and container/list are listed per method: the
+// packages also contain allocating calls (sync.Pool.New, list.PushFront)
+// that must not inherit the trust.
+var hotExternFuncs = map[string]bool{
+	"(*sync.Mutex).Lock":                 true,
+	"(*sync.Mutex).Unlock":               true,
+	"(*sync.RWMutex).Lock":               true,
+	"(*sync.RWMutex).Unlock":             true,
+	"(*sync.RWMutex).RLock":              true,
+	"(*sync.RWMutex).RUnlock":            true,
+	"(*sync.WaitGroup).Add":              true,
+	"(*sync.WaitGroup).Done":             true,
+	"(*sync.WaitGroup).Wait":             true,
+	"(*container/list.List).MoveToFront": true,
+	"(*container/list.List).Front":       true,
+	"(*container/list.List).Back":        true,
+	"(*container/list.List).Len":         true,
+	"(*container/list.Element).Next":     true,
+}
+
+func (s *hotScan) scan() {
+	body := s.fn.Decl.Body
+	s.edgeSeen = map[*flow.Func]bool{}
+	s.appendDone = map[*ast.CallExpr]bool{}
+	s.buildParents(body)
+	s.buildColdSpans(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			s.checkCall(n)
+		case *ast.AssignStmt:
+			s.checkAssign(n)
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok {
+				if _, isMap := s.exprTypeUnder(ix.X).(*types.Map); isMap && !s.cold(n) {
+					s.reportf(n.Pos(), "map assignment may allocate on insert")
+				}
+			}
+		case *ast.ValueSpec:
+			s.checkValueSpec(n)
+		case *ast.ReturnStmt:
+			s.checkReturn(n)
+		case *ast.SendStmt:
+			s.checkSend(n)
+		case *ast.CompositeLit:
+			s.checkCompositeLit(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				s.checkAddrOf(n)
+			}
+		case *ast.BinaryExpr:
+			s.checkStringConcat(n)
+		case *ast.FuncLit:
+			s.checkFuncLit(n)
+		case *ast.DeferStmt:
+			s.checkDefer(n)
+		case *ast.GoStmt:
+			s.reportf(n.Pos(), "go statement allocates a goroutine on the hot path")
+		case *ast.SelectorExpr:
+			s.checkMethodValue(n)
+		}
+		return true
+	})
+	s.checkAppends()
+}
+
+// reportf emits one finding unless the node is cold or the function's
+// package is outside the pass scope. The root suffix names the annotated
+// entry point whose closure reached this function.
+func (s *hotScan) reportf(pos token.Pos, format string, args ...any) {
+	if !s.report {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	if s.fn != s.root {
+		msg += fmt.Sprintf(" (hot path via %s)", hotFuncDisplay(s.root.Obj))
+	} else {
+		msg += fmt.Sprintf(" (in //vet:hotpath %s)", hotFuncDisplay(s.root.Obj))
+	}
+	s.mp.Reportf(pos, "%s", msg)
+}
+
+// hotFuncDisplay renders a function identity the way a reader writes it:
+// sim.SimulateSample, (*sim.Runner).Solve.
+func hotFuncDisplay(obj *types.Func) string {
+	qual := func(p *types.Package) string { return p.Name() }
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "(" + types.TypeString(sig.Recv().Type(), qual) + ")." + obj.Name()
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// ---- cold-path detection ----
+
+// buildColdSpans records the source ranges that are cold by syntax: return
+// statements whose error-position result is non-nil, and panic arguments.
+func (s *hotScan) buildColdSpans(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if s.coldReturn(n) {
+				s.coldSpans = append(s.coldSpans, hotSpan{n.Pos(), n.End()})
+			}
+		case *ast.CallExpr:
+			if hotBuiltinName(s.info, n) == "panic" {
+				s.coldSpans = append(s.coldSpans, hotSpan{n.Pos(), n.End()})
+			}
+		}
+		return true
+	})
+}
+
+// coldReturn reports a return that leaves through the error path: the
+// enclosing function's final result is an error and the returned expression
+// in that position is syntactically non-nil.
+func (s *hotScan) coldReturn(ret *ast.ReturnStmt) bool {
+	sig, ok := s.fn.Obj.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().Len() - 1
+	if sig.Results().At(last).Type().String() != "error" {
+		return false
+	}
+	if len(ret.Results) != sig.Results().Len() {
+		return false // bare return through named results: not provably cold
+	}
+	if id, ok := ast.Unparen(ret.Results[last]).(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	return true
+}
+
+// cold reports whether n only executes on an error/panic exit: it sits
+// inside a cold span, or every CFG path from it reaches a cold exit before
+// any warm return.
+func (s *hotScan) cold(n ast.Node) bool {
+	for _, sp := range s.coldSpans {
+		if n.Pos() >= sp.pos && n.End() <= sp.end {
+			return true
+		}
+	}
+	coldExit := func(m ast.Node) bool {
+		if r, ok := m.(*ast.ReturnStmt); ok {
+			return s.coldReturn(r)
+		}
+		return s.isPanicNode(m)
+	}
+	warmExit := func(m ast.Node) bool {
+		if r, ok := m.(*ast.ReturnStmt); ok {
+			return !s.coldReturn(r)
+		}
+		return false
+	}
+	return flow.EveryPathHits(s.fn.CFG(), n, coldExit, warmExit)
+}
+
+func (s *hotScan) isPanicNode(m ast.Node) bool {
+	e, ok := m.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := e.X.(*ast.CallExpr)
+	return ok && hotBuiltinName(s.info, call) == "panic"
+}
+
+// ---- call sites ----
+
+func (s *hotScan) checkCall(call *ast.CallExpr) {
+	// Conversions: numeric ones are free; string<->byte/rune traffic and
+	// conversions into interfaces allocate.
+	if tv, ok := s.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		s.checkConversion(call, tv.Type)
+		return
+	}
+	switch name := hotBuiltinName(s.info, call); name {
+	case "make":
+		if !s.cold(call) {
+			s.reportf(call.Pos(), "make(%s) allocates", s.typeOfString(call))
+		}
+		return
+	case "new":
+		if !s.cold(call) {
+			s.reportf(call.Pos(), "new(%s) allocates", s.typeOfString(call))
+		}
+		return
+	case "append":
+		s.appends = append(s.appends, call)
+		return
+	case "":
+		// not a builtin: fall through to callee resolution
+	default:
+		// len, cap, copy, delete, panic, min, max, ...: allocation-free (or,
+		// for panic, cold by definition).
+		return
+	}
+
+	obj := flow.CalleeObj(s.info, call)
+	if obj != nil {
+		callee := s.mp.Prog.FuncOf(obj)
+		if callee == nil {
+			// Generic instantiations resolve to the instance object; the
+			// index holds the origin declaration.
+			callee = s.mp.Prog.FuncOf(obj.Origin())
+		}
+		if callee != nil {
+			s.checkVariadicSlice(call, obj)
+			s.checkArgBoxing(call)
+			if !s.cold(call) && !s.edgeSeen[callee] {
+				s.edgeSeen[callee] = true
+				s.edges = append(s.edges, callee)
+			}
+			return
+		}
+		// Out-of-module: trusted allowlist or a finding.
+		if pkg := obj.Pkg(); pkg != nil && hotExternPkgs[pkg.Path()] {
+			return
+		}
+		if hotExternFuncs[obj.FullName()] || hotExternFuncs[obj.Origin().FullName()] {
+			return
+		}
+		if !s.cold(call) {
+			s.reportf(call.Pos(), "call into %s cannot be proven allocation-free", obj.FullName())
+		}
+		return
+	}
+	// Dynamic: interface method or function value.
+	if !s.cold(call) {
+		s.reportf(call.Pos(), "dynamic call through %s cannot be proven allocation-free", types.ExprString(call.Fun))
+	}
+	s.checkVariadicSliceDyn(call)
+	s.checkArgBoxing(call)
+}
+
+// checkConversion flags the conversions that materialize memory.
+func (s *hotScan) checkConversion(call *ast.CallExpr, target types.Type) {
+	arg := call.Args[0]
+	if tv, ok := s.info.Types[call]; ok && tv.Value != nil {
+		return // constant-folded conversion
+	}
+	if s.boxes(target, arg) {
+		if !s.cold(call) {
+			s.reportf(call.Pos(), "interface boxing: conversion of %s to %s allocates",
+				s.typeDisplay(arg), hotTypeString(target))
+		}
+		return
+	}
+	at := s.exprType(arg)
+	if at == nil {
+		return
+	}
+	tb, tIsBasic := target.Underlying().(*types.Basic)
+	ab, aIsBasic := at.Underlying().(*types.Basic)
+	switch {
+	case tIsBasic && tb.Info()&types.IsString != 0 && !(aIsBasic && ab.Info()&types.IsString != 0):
+		if !s.cold(call) {
+			s.reportf(call.Pos(), "conversion %s(%s) allocates a string", hotTypeString(target), s.typeDisplay(arg))
+		}
+	case aIsBasic && ab.Info()&types.IsString != 0 && !tIsBasic:
+		if _, isSlice := target.Underlying().(*types.Slice); isSlice {
+			if !s.cold(call) {
+				s.reportf(call.Pos(), "conversion %s(string) copies and allocates", hotTypeString(target))
+			}
+		}
+	}
+}
+
+// checkVariadicSlice flags the hidden []T the compiler builds at a variadic
+// call with loose arguments (f(a, b, c) where f is f(...T)); forwarding with
+// an ellipsis reuses the caller's slice.
+func (s *hotScan) checkVariadicSlice(call *ast.CallExpr, obj *types.Func) {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || !sig.Variadic() || call.Ellipsis.IsValid() {
+		return
+	}
+	if len(call.Args) < sig.Params().Len() {
+		return // variadic part empty: no slice
+	}
+	if s.cold(call) {
+		return
+	}
+	s.reportf(call.Pos(), "variadic call to %s allocates its argument slice", obj.Name())
+}
+
+func (s *hotScan) checkVariadicSliceDyn(call *ast.CallExpr) {
+	tv, ok := s.info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || !sig.Variadic() || call.Ellipsis.IsValid() {
+		return
+	}
+	if len(call.Args) < sig.Params().Len() || s.cold(call) {
+		return
+	}
+	s.reportf(call.Pos(), "variadic call to %s allocates its argument slice", types.ExprString(call.Fun))
+}
+
+// checkArgBoxing flags concrete values meeting interface-typed parameters.
+func (s *hotScan) checkArgBoxing(call *ast.CallExpr) {
+	tv, ok := s.info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarded slice: no per-element boxing
+			}
+			if last, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice); ok {
+				pt = last.Elem()
+			}
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		}
+		if s.boxes(pt, arg) && !s.cold(call) {
+			s.reportf(arg.Pos(), "interface boxing: %s argument passed as %s allocates",
+				s.typeDisplay(arg), hotTypeString(pt))
+		}
+	}
+}
+
+// ---- boxing at stores ----
+
+// boxes reports a concrete-to-interface conversion: target is an interface
+// (not a type parameter) and val's type is concrete and non-nil.
+func (s *hotScan) boxes(target types.Type, val ast.Expr) bool {
+	if target == nil || val == nil {
+		return false
+	}
+	if _, isTP := target.(*types.TypeParam); isTP {
+		return false
+	}
+	if !types.IsInterface(target) {
+		return false
+	}
+	tv, ok := s.info.Types[val]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	if _, isTP := tv.Type.(*types.TypeParam); isTP {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+func (s *hotScan) checkAssign(as *ast.AssignStmt) {
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 {
+		if bt, ok := s.exprType(as.Lhs[0]).(*types.Basic); ok && bt.Info()&types.IsString != 0 {
+			if !s.cold(as) {
+				s.reportf(as.Pos(), "string concatenation allocates")
+			}
+		}
+	}
+	// Map writes allocate on insert; the boxing check below additionally
+	// covers interface-valued maps.
+	for _, l := range as.Lhs {
+		if ix, ok := ast.Unparen(l).(*ast.IndexExpr); ok {
+			if _, isMap := s.exprTypeUnder(ix.X).(*types.Map); isMap && !s.cold(as) {
+				s.reportf(l.Pos(), "map assignment may allocate on insert")
+			}
+		}
+	}
+	if as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+		return // := never boxes (LHS adopts RHS type); tuple results untracked
+	}
+	for i, l := range as.Lhs {
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		if s.boxes(s.exprType(l), as.Rhs[i]) && !s.cold(as) {
+			s.reportf(as.Rhs[i].Pos(), "interface boxing: %s assigned to %s allocates",
+				s.typeDisplay(as.Rhs[i]), hotTypeString(s.exprType(l)))
+		}
+	}
+}
+
+func (s *hotScan) checkValueSpec(vs *ast.ValueSpec) {
+	if vs.Type == nil {
+		return
+	}
+	tv, ok := s.info.Types[vs.Type]
+	if !ok {
+		return
+	}
+	for _, v := range vs.Values {
+		if s.boxes(tv.Type, v) && !s.cold(vs) {
+			s.reportf(v.Pos(), "interface boxing: %s declared as %s allocates",
+				s.typeDisplay(v), hotTypeString(tv.Type))
+		}
+	}
+}
+
+func (s *hotScan) checkReturn(ret *ast.ReturnStmt) {
+	sig, ok := s.fn.Obj.Type().(*types.Signature)
+	if !ok || len(ret.Results) != sig.Results().Len() {
+		return
+	}
+	for i, r := range ret.Results {
+		rt := sig.Results().At(i).Type()
+		if rt.String() == "error" {
+			continue // returning a live error is the error path's business
+		}
+		if s.boxes(rt, r) && !s.cold(ret) {
+			s.reportf(r.Pos(), "interface boxing: returning %s as %s allocates",
+				s.typeDisplay(r), hotTypeString(rt))
+		}
+	}
+}
+
+func (s *hotScan) checkSend(send *ast.SendStmt) {
+	ch, ok := s.exprTypeUnder(send.Chan).(*types.Chan)
+	if !ok {
+		return
+	}
+	if s.boxes(ch.Elem(), send.Value) && !s.cold(send) {
+		s.reportf(send.Value.Pos(), "interface boxing: %s sent as %s allocates",
+			s.typeDisplay(send.Value), hotTypeString(ch.Elem()))
+	}
+}
+
+// ---- composite construction ----
+
+func (s *hotScan) checkCompositeLit(lit *ast.CompositeLit) {
+	tv, ok := s.info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		if !s.cold(lit) && !s.addrOfParent(lit) {
+			s.reportf(lit.Pos(), "%s literal allocates its backing array", hotTypeString(tv.Type))
+		}
+		for _, elt := range lit.Elts {
+			s.checkLitElt(u.Elem(), elt)
+		}
+	case *types.Map:
+		if !s.cold(lit) && !s.addrOfParent(lit) {
+			s.reportf(lit.Pos(), "%s literal allocates", hotTypeString(tv.Type))
+		}
+		for _, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				s.checkLitElt(u.Key(), kv.Key)
+				s.checkLitElt(u.Elem(), kv.Value)
+			}
+		}
+	case *types.Struct:
+		for _, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					for i := 0; i < u.NumFields(); i++ {
+						if u.Field(i).Name() == id.Name {
+							s.checkLitElt(u.Field(i).Type(), kv.Value)
+							break
+						}
+					}
+				}
+				continue
+			}
+		}
+		// Positional struct literals are rare in this tree; fields line up
+		// with elements when present.
+		if len(lit.Elts) > 0 {
+			if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed && len(lit.Elts) == u.NumFields() {
+				for i, elt := range lit.Elts {
+					s.checkLitElt(u.Field(i).Type(), elt)
+				}
+			}
+		}
+	case *types.Array:
+		for _, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				s.checkLitElt(u.Elem(), kv.Value)
+			} else {
+				s.checkLitElt(u.Elem(), elt)
+			}
+		}
+	}
+}
+
+func (s *hotScan) checkLitElt(target types.Type, elt ast.Expr) {
+	if kv, ok := elt.(*ast.KeyValueExpr); ok {
+		elt = kv.Value
+	}
+	if s.boxes(target, elt) && !s.cold(elt) {
+		s.reportf(elt.Pos(), "interface boxing: %s stored as %s in composite literal allocates",
+			s.typeDisplay(elt), hotTypeString(target))
+	}
+}
+
+// addrOfParent reports a composite literal whose direct parent is &lit; the
+// address-of check owns that site (one finding, not two).
+func (s *hotScan) addrOfParent(lit *ast.CompositeLit) bool {
+	u, ok := s.parents[lit].(*ast.UnaryExpr)
+	return ok && u.Op == token.AND
+}
+
+// checkAddrOf flags &T{} — a heap allocation unless the pointer provably
+// never leaves the function (locally confined: defined into a local whose
+// every use is a field access or index).
+func (s *hotScan) checkAddrOf(u *ast.UnaryExpr) {
+	lit, ok := ast.Unparen(u.X).(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	if s.cold(u) {
+		return
+	}
+	if s.confined(u) {
+		return
+	}
+	s.reportf(u.Pos(), "&%s{} escapes to the heap", s.litTypeName(lit))
+}
+
+func (s *hotScan) litTypeName(lit *ast.CompositeLit) string {
+	if tv, ok := s.info.Types[lit]; ok && tv.Type != nil {
+		return hotTypeString(tv.Type)
+	}
+	return types.ExprString(lit.Type)
+}
+
+// confined proves the simple non-escaping pattern: x := &T{} where every
+// other use of x is a field selection or an index — no call argument,
+// return, store, send, capture, or re-exposure. Anything it cannot prove is
+// an escape.
+func (s *hotScan) confined(u *ast.UnaryExpr) bool {
+	as, ok := s.parents[u].(*ast.AssignStmt)
+	if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := s.info.Defs[id].(*types.Var)
+	if !ok {
+		return false
+	}
+	safe := true
+	ast.Inspect(s.fn.Decl.Body, func(n ast.Node) bool {
+		use, ok := n.(*ast.Ident)
+		if !ok || s.info.Uses[use] != obj {
+			return true
+		}
+		switch p := s.parents[use].(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := s.info.Selections[p]; ok && sel.Kind() == types.FieldVal && p.X == use {
+				return true // field read/write on the confined object
+			}
+			safe = false
+		case *ast.IndexExpr:
+			if p.X != use {
+				safe = false
+			}
+		case *ast.AssignStmt:
+			for _, l := range p.Lhs {
+				if l == use {
+					return true // rebinding x drops this allocation
+				}
+			}
+			safe = false
+		default:
+			safe = false
+		}
+		return safe
+	})
+	return safe
+}
+
+// checkStringConcat flags non-constant string + at the outermost node of a
+// concat chain (one finding per expression, not per operator).
+func (s *hotScan) checkStringConcat(b *ast.BinaryExpr) {
+	if b.Op != token.ADD {
+		return
+	}
+	if tv, ok := s.info.Types[b]; ok && tv.Value != nil {
+		return // constant-folded at compile time
+	}
+	bt, ok := s.exprTypeUnder(b).(*types.Basic)
+	if !ok || bt.Info()&types.IsString == 0 {
+		return
+	}
+	if p, ok := s.parents[b].(*ast.BinaryExpr); ok && p.Op == token.ADD {
+		if pt, ok := s.exprTypeUnder(p).(*types.Basic); ok && pt.Info()&types.IsString != 0 {
+			return
+		}
+	}
+	if !s.cold(b) {
+		s.reportf(b.Pos(), "string concatenation allocates")
+	}
+}
+
+// ---- closures, defers, goroutines ----
+
+func (s *hotScan) checkFuncLit(lit *ast.FuncLit) {
+	captured := s.capturedVar(lit)
+	if captured == nil {
+		return // a non-capturing literal compiles to a static function value
+	}
+	if s.cold(lit) {
+		return
+	}
+	if d, ok := s.parents[lit].(*ast.DeferStmt); ok && d.Call.Fun == lit {
+		if res := s.namedResult(captured); res {
+			s.reportf(lit.Pos(), "deferred closure captures named result %s, forcing it to the heap", captured.Name())
+			return
+		}
+	}
+	s.reportf(lit.Pos(), "closure captures %s and allocates", captured.Name())
+}
+
+// capturedVar returns a variable the literal closes over (the first in
+// source order), or nil for a static literal.
+func (s *hotScan) capturedVar(lit *ast.FuncLit) *types.Var {
+	var captured *types.Var
+	pkgScope := s.fn.Pkg.Types.Scope()
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := s.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == pkgScope || v.Parent() == types.Universe {
+			return true // package globals are static references, not captures
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal
+		}
+		captured = v
+		return false
+	})
+	return captured
+}
+
+// namedResult reports whether v is a named result of the enclosing function.
+func (s *hotScan) namedResult(v *types.Var) bool {
+	ft := s.fn.Decl.Type
+	if ft.Results == nil {
+		return false
+	}
+	for _, f := range ft.Results.List {
+		for _, name := range f.Names {
+			if s.info.Defs[name] == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s *hotScan) checkDefer(d *ast.DeferStmt) {
+	if s.cold(d) {
+		return
+	}
+	for p := s.parents[d]; p != nil; p = s.parents[p] {
+		switch p.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			s.reportf(d.Pos(), "defer inside a loop heap-allocates its record")
+			return
+		case *ast.FuncLit:
+			return // the literal is the defer's frame
+		}
+	}
+}
+
+func (s *hotScan) checkMethodValue(sel *ast.SelectorExpr) {
+	selection, ok := s.info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return
+	}
+	if call, ok := s.parents[sel].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == sel {
+		return // ordinary method call
+	}
+	if s.cold(sel) {
+		return
+	}
+	s.reportf(sel.Pos(), "method value %s allocates its bound receiver", types.ExprString(sel))
+}
+
+// ---- appends ----
+
+// checkAppends runs the interval fixpoint once and proves each append site
+// in place: len(base) + added <= cap(base). Sites the CFG walk cannot reach
+// (inside function literals) stay unproven.
+func (s *hotScan) checkAppends() {
+	if len(s.appends) == 0 {
+		return
+	}
+	site := map[*ast.CallExpr]bool{}
+	for _, a := range s.appends {
+		site[a] = true
+	}
+	ev := &absint.IntervalEval{Info: s.info}
+	cfg := s.fn.CFG()
+	envs := ev.Interp().Analyze(cfg, absint.NewEnv[absint.Interval]())
+	for _, blk := range cfg.Blocks {
+		entry := envs[blk]
+		if entry == nil {
+			continue
+		}
+		ev.Interp().Walk(blk, entry, func(n ast.Node, env *absint.Env[absint.Interval]) {
+			ast.Inspect(flow.HeaderExpr(n), func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok || !site[call] || s.appendDone[call] {
+					return true
+				}
+				s.appendDone[call] = true
+				s.checkAppendAt(call, ev, env)
+				return true
+			})
+		})
+	}
+	for _, a := range s.appends {
+		if !s.appendDone[a] && !s.cold(a) && !s.guardedInPlace(a) {
+			s.reportf(a.Pos(), "append without provable capacity may reallocate")
+		}
+	}
+}
+
+func (s *hotScan) checkAppendAt(call *ast.CallExpr, ev *absint.IntervalEval, env *absint.Env[absint.Interval]) {
+	if len(call.Args) == 0 || s.cold(call) || s.guardedInPlace(call) {
+		return
+	}
+	base := call.Args[0]
+	added := absint.Exact(float64(len(call.Args) - 1))
+	if call.Ellipsis.IsValid() {
+		var ok bool
+		added, ok = ev.LenOf(call.Args[len(call.Args)-1], env)
+		if !ok || !added.Known {
+			s.reportf(call.Pos(), "append of a slice with unknown length may reallocate %s",
+				types.ExprString(base))
+			return
+		}
+	}
+	ln, lok := ev.LenOf(base, env)
+	cp, cok := ev.CapOf(base, env)
+	if lok && cok && ln.Known && cp.Known &&
+		!math.IsInf(ln.Hi, 1) && ln.Hi+added.Hi <= cp.Lo {
+		return // provably in place
+	}
+	s.reportf(call.Pos(), "append may reallocate %s: cannot prove len %s + %s fits cap %s",
+		types.ExprString(base), ln.String(), added.String(), cp.String())
+}
+
+// guardedInPlace recognizes the arena-refill idiom relationally: a
+// single-element append whose statement sits directly in the then-branch of
+// `if len(x) < cap(x)` (or `cap(x) > len(x)`) over the same slice
+// expression. The guard IS the in-place condition — len+1 <= cap — so the
+// proof needs no interval facts and survives the widening that erases
+// finite bounds at loop heads. Any statement between the guard and the
+// append that mentions the slice voids the proof.
+func (s *hotScan) guardedInPlace(call *ast.CallExpr) bool {
+	if call.Ellipsis.IsValid() || len(call.Args) != 2 {
+		return false
+	}
+	baseStr := types.ExprString(call.Args[0])
+	var stmt ast.Stmt
+	for n := ast.Node(call); n != nil; n = s.parents[n] {
+		if st, ok := n.(ast.Stmt); ok {
+			stmt = st
+			break
+		}
+	}
+	if stmt == nil {
+		return false
+	}
+	body, ok := s.parents[stmt].(*ast.BlockStmt)
+	if !ok {
+		return false
+	}
+	ifs, ok := s.parents[body].(*ast.IfStmt)
+	if !ok || ifs.Body != body || !s.lenCapGuard(ifs.Cond, baseStr) {
+		return false
+	}
+	for _, st := range body.List {
+		if st == stmt {
+			return true
+		}
+		touched := false
+		ast.Inspect(st, func(m ast.Node) bool {
+			if e, ok := m.(ast.Expr); ok && types.ExprString(e) == baseStr {
+				touched = true
+				return false
+			}
+			return true
+		})
+		if touched {
+			return false
+		}
+	}
+	return false
+}
+
+// lenCapGuard matches `len(x) < cap(x)` and `cap(x) > len(x)` for the given
+// slice rendering x.
+func (s *hotScan) lenCapGuard(cond ast.Expr, baseStr string) bool {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch b.Op {
+	case token.LSS:
+		return s.builtinOn(b.X, "len", baseStr) && s.builtinOn(b.Y, "cap", baseStr)
+	case token.GTR:
+		return s.builtinOn(b.X, "cap", baseStr) && s.builtinOn(b.Y, "len", baseStr)
+	}
+	return false
+}
+
+// builtinOn reports whether e is the builtin name applied to baseStr.
+func (s *hotScan) builtinOn(e ast.Expr, name, baseStr string) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	if _, ok := s.info.Uses[id].(*types.Builtin); !ok {
+		return false
+	}
+	return types.ExprString(call.Args[0]) == baseStr
+}
+
+// ---- shared helpers ----
+
+func (s *hotScan) buildParents(body *ast.BlockStmt) {
+	s.parents = map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			s.parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// typeOfString renders the type operand of a make/new call as written.
+func (s *hotScan) typeOfString(call *ast.CallExpr) string {
+	if len(call.Args) > 0 {
+		return types.ExprString(call.Args[0])
+	}
+	return types.ExprString(call)
+}
+
+func (s *hotScan) exprType(e ast.Expr) types.Type {
+	if tv, ok := s.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (s *hotScan) exprTypeUnder(e ast.Expr) types.Type {
+	if t := s.exprType(e); t != nil {
+		return t.Underlying()
+	}
+	return nil
+}
+
+func (s *hotScan) typeDisplay(e ast.Expr) string {
+	t := s.exprType(e)
+	if t == nil {
+		return types.ExprString(e)
+	}
+	return types.ExprString(e) + " (" + hotTypeString(t) + ")"
+}
+
+// hotTypeString renders a type with package names only (no import paths),
+// matching how diagnostics read.
+func hotTypeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+func hotBuiltinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}

@@ -1,0 +1,260 @@
+package analysis
+
+// The owned check: the concurrency model's ownership discipline, made
+// machine-checked. The collection engine's workers each own a private
+// sim.Runner — the whole reason the columnar arena needs no locks — and that
+// privacy is a convention a refactor can silently break: capture the Runner
+// in a second goroutine, stash it in a shared struct, and the race detector
+// may or may not catch it depending on scheduling.
+//
+// A value declared on a line annotated //vet:owned is worker-private: every
+// use must stay in the goroutine that created it. The check flags uses that
+// hand the value to another goroutine (a `go` launch capturing it, a channel
+// send), park it where other goroutines can reach it (a store through a
+// selector/index/pointer, a package variable, a composite literal), or
+// return it. Deliberate handoffs carry //vet:transfer on the escaping line,
+// which documents the ownership transfer the way //lint:allow documents a
+// waived finding.
+//
+// Synchronous calls passing the value down the stack are fine — the callee
+// runs on the creator's goroutine. Local aliasing (x := owned) is not
+// tracked; the check guards the annotated name, not the points-to set.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+const (
+	ownedMark    = "//vet:owned"
+	transferMark = "//vet:transfer"
+)
+
+// OwnedAnalyzer builds the owned check.
+func OwnedAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:    "owned",
+		Doc:     "values marked //vet:owned must not leave their creating goroutine without //vet:transfer",
+		Applies: hotpathApplies,
+		Run:     runOwned,
+	}
+}
+
+func runOwned(pass *Pass) {
+	if !pass.IncludeSrc {
+		return
+	}
+	for _, file := range pass.Pkg.Syntax {
+		ownedLines, transferLines := ownedDirectives(pass.Pkg.Fset, file)
+		if len(ownedLines) == 0 {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkOwnedFunc(pass, fd, ownedLines, transferLines)
+		}
+	}
+}
+
+// ownedDirectives collects the line numbers carrying each directive. A
+// directive governs its own line and, when it stands alone, the next one.
+func ownedDirectives(fset *token.FileSet, file *ast.File) (owned, transfer map[int]bool) {
+	owned, transfer = map[int]bool{}, map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			line := fset.Position(c.Pos()).Line
+			switch {
+			case text == ownedMark || strings.HasPrefix(text, ownedMark+" "):
+				owned[line] = true
+			case text == transferMark || strings.HasPrefix(text, transferMark+" "):
+				transfer[line] = true
+			}
+		}
+	}
+	return owned, transfer
+}
+
+// ownedVar is one annotated value with its declaration site.
+type ownedVar struct {
+	v    *types.Var
+	decl ast.Node // the declaring statement
+}
+
+func checkOwnedFunc(pass *Pass, fd *ast.FuncDecl, ownedLines, transferLines map[int]bool) {
+	info := pass.Pkg.Info
+	fset := pass.Pkg.Fset
+
+	// Parent links for classification walks.
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	onLine := func(lines map[int]bool, n ast.Node) bool {
+		l := fset.Position(n.Pos()).Line
+		return lines[l] || lines[l-1]
+	}
+
+	// Collect annotated declarations: short variable declarations and var
+	// statements whose line (or preceding line) carries //vet:owned.
+	var vars []ownedVar
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || !onLine(ownedLines, n) {
+				return true
+			}
+			for _, l := range n.Lhs {
+				if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+					if v, ok := info.Defs[id].(*types.Var); ok {
+						vars = append(vars, ownedVar{v: v, decl: n})
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR || !onLine(ownedLines, n) {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, id := range vs.Names {
+						if id.Name == "_" {
+							continue
+						}
+						if v, ok := info.Defs[id].(*types.Var); ok {
+							vars = append(vars, ownedVar{v: v, decl: n})
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(vars) == 0 {
+		return
+	}
+
+	transferred := func(use ast.Node) bool {
+		// The directive sits on the escaping statement (or the line above);
+		// climb from the use to its statement.
+		for n := use; n != nil; n = parents[n] {
+			if _, ok := n.(ast.Stmt); ok {
+				return onLine(transferLines, n)
+			}
+		}
+		return false
+	}
+
+	for _, ov := range vars {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || info.Uses[id] != ov.v {
+				return true
+			}
+			kind := classifyOwnedUse(info, parents, ov, id)
+			if kind == "" || transferred(id) {
+				return true
+			}
+			pass.Reportf(id.Pos(), "owned value %s %s (missing //vet:transfer)", ov.v.Name(), kind)
+			return true
+		})
+	}
+}
+
+// classifyOwnedUse returns a violation description for the use, or "" when
+// the use stays inside the creator's goroutine and frame.
+func classifyOwnedUse(info *types.Info, parents map[ast.Node]ast.Node, ov ownedVar, use *ast.Ident) string {
+	// Crossing into a goroutine the declaration does not belong to: the use
+	// sits under a go statement (directly as an argument, or inside a
+	// go-launched function literal) whose launch is outside the declaring
+	// literal's body.
+	for n := ast.Node(use); n != nil; n = parents[n] {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if contains(lit, ov.decl) {
+				break // reached the creator's own frame: stop climbing
+			}
+			if call, ok := parents[lit].(*ast.CallExpr); ok && call.Fun == lit {
+				if _, ok := parents[call].(*ast.GoStmt); ok {
+					return "is captured by a goroutine other than its creator's"
+				}
+			}
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := parents[call].(*ast.GoStmt); ok && containsExpr(call.Args, use) {
+				return "is handed to a new goroutine"
+			}
+		}
+	}
+
+	// The value (or its address) escaping through a store, send, composite
+	// literal, or return. &owned counts the same as owned.
+	top := ast.Node(use)
+	if u, ok := parents[top].(*ast.UnaryExpr); ok && u.Op == token.AND {
+		top = u
+	}
+	switch p := parents[top].(type) {
+	case *ast.SendStmt:
+		if p.Value == top {
+			return "is sent on a channel"
+		}
+	case *ast.AssignStmt:
+		for i, r := range p.Rhs {
+			if r != top {
+				continue
+			}
+			if i < len(p.Lhs) {
+				switch l := ast.Unparen(p.Lhs[i]).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					return "is stored into a shared structure"
+				case *ast.Ident:
+					if v, ok := info.Uses[l].(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+						return "is stored into a package variable"
+					}
+				}
+			}
+		}
+	case *ast.KeyValueExpr:
+		if _, ok := parents[p].(*ast.CompositeLit); ok && p.Value == top {
+			return "is stored into a composite literal"
+		}
+	case *ast.CompositeLit:
+		return "is stored into a composite literal"
+	case *ast.ReturnStmt:
+		return "is returned from its creator"
+	}
+	return ""
+}
+
+// containsExpr reports whether target appears in (or under) any of exprs.
+func containsExpr(exprs []ast.Expr, target ast.Node) bool {
+	for _, e := range exprs {
+		if contains(e, target) {
+			return true
+		}
+	}
+	return false
+}
+
+// contains reports whether inner's span sits within outer's subtree.
+func contains(outer, inner ast.Node) bool {
+	if outer == nil || inner == nil {
+		return false
+	}
+	return inner.Pos() >= outer.Pos() && inner.End() <= outer.End()
+}

@@ -125,6 +125,59 @@ const V = 1
 	}
 }
 
+func TestStaleWaiverForNewlyAddedCheck(t *testing.T) {
+	// A waiver can predate the check it names: hotpath entered the suite
+	// after //lint:allow grew its vocabulary from the suite's check list, so
+	// a speculative (or left-behind) hotpath waiver becomes evaluable the
+	// moment the new check first covers its file — and must go stale then,
+	// not be grandfathered.
+	opts := Options{Patterns: []string{"./testdata/src/stalenewcheck"}, ScopeAll: true}
+	diags, err := Run(opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	stale := false
+	for _, d := range diags {
+		if d.Check == LintCheckName && strings.Contains(d.Message, "stale lint:allow hotpath") {
+			stale = true
+		}
+	}
+	if !stale {
+		t.Errorf("hotpath waiver with nothing to absorb not reported stale; diagnostics: %v", diags)
+	}
+
+	// Disabling the newly added check removes the evidence, not the waiver:
+	// staleness must not be claimed for a check that did not run.
+	disabled := opts
+	disabled.Disable = map[string]bool{"hotpath": true}
+	diags, err = Run(disabled)
+	if err != nil {
+		t.Fatalf("Run(disable hotpath): %v", err)
+	}
+	for _, d := range diags {
+		if d.Check == LintCheckName && strings.Contains(d.Message, "stale") {
+			t.Errorf("waiver called stale while its check was disabled: %v", d)
+		}
+	}
+
+	// The -waivers inventory force-enables every check (liveness is only
+	// meaningful if the check ran), so it marks the waiver stale even when
+	// the caller's options disable the new check.
+	ws, err := ListWaivers(opts)
+	if err != nil {
+		t.Fatalf("ListWaivers: %v", err)
+	}
+	if len(ws) != 1 || ws[0].Check != "hotpath" || !ws[0].Stale {
+		t.Errorf("inventory = %+v; want the single hotpath waiver marked stale", ws)
+	}
+	if ws, err = ListWaivers(disabled); err != nil {
+		t.Fatalf("ListWaivers(disable hotpath): %v", err)
+	}
+	if len(ws) != 1 || !ws[0].Stale {
+		t.Errorf("inventory under -disable = %+v; want staleness still computed (ListWaivers force-enables checks)", ws)
+	}
+}
+
 func TestWaiverInsideFixturePackage(t *testing.T) {
 	// Fixture packages are analyzed with ScopeAll like any other source; a
 	// waiver inside one must suppress there too — the goleakfix fixture

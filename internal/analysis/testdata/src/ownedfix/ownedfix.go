@@ -1,0 +1,141 @@
+// Package ownedfix exercises the owned check: values declared on a
+// //vet:owned line are worker-private, and every way one can leave its
+// creating goroutine is represented here — captured by a second goroutine,
+// handed to a go call, sent on a channel, stored into a shared struct, a
+// package variable, or a composite literal, and returned — alongside the
+// sanctioned escapes: a //vet:transfer handoff, a //lint:allow waiver, and
+// a value that is created inside the goroutine that uses it.
+package ownedfix
+
+import "sync"
+
+// runner stands in for the per-worker simulator state the discipline guards.
+type runner struct {
+	cells []float64
+	sum   float64
+}
+
+func (r *runner) step(v float64) { r.sum += v }
+
+// registry is the shared structure the violations store into.
+type registry struct {
+	byName map[string]*runner
+	last   *runner
+}
+
+// current is the package-level sink for the global-store case.
+var current *runner
+
+// capturedByGoroutine is reported: the owned runner is used inside a
+// goroutine other than its creator's. Unexported (as are the other
+// spawners) so the ctx check's exported-spawner rule stays out of this
+// fixture's golden; the WaitGroup is declared before the annotated line so
+// the directive's two-line window cannot reach it.
+func capturedByGoroutine(vals []float64) float64 {
+	var wg sync.WaitGroup
+	r := &runner{cells: make([]float64, 0, 8)} //vet:owned
+	wg.Add(1)
+	go func() {
+		for _, v := range vals {
+			r.step(v)
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+	return r.sum
+}
+
+// handedToGoroutine is reported: the owned runner is an argument of the go
+// call itself.
+func handedToGoroutine(vals []float64) {
+	var wg sync.WaitGroup
+	r := &runner{} //vet:owned
+	wg.Add(1)
+	go func(w *runner) {
+		for _, v := range vals {
+			w.step(v)
+		}
+		wg.Done()
+	}(r)
+	wg.Wait()
+}
+
+// workerOwned is clean: the runner is declared inside the spawned goroutine,
+// so the creator and the user are the same goroutine.
+func workerOwned(vals []float64, out chan<- float64) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		r := &runner{} //vet:owned
+		for _, v := range vals {
+			r.step(v)
+		}
+		out <- r.sum // derived scalar, not the owned value: no transfer needed
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// StoredShared is reported: parking the owned runner in a shared struct
+// makes it reachable from every goroutine holding the registry.
+func StoredShared(reg *registry) {
+	r := &runner{} //vet:owned
+	reg.last = r
+}
+
+// StoredByKey is reported: a map store is a shared-structure store.
+func StoredByKey(reg *registry, name string) {
+	r := &runner{} //vet:owned
+	reg.byName[name] = r
+}
+
+// StoredGlobal is reported: a package variable is visible to everyone.
+func StoredGlobal() {
+	r := &runner{} //vet:owned
+	current = r
+}
+
+// SentOnChannel is reported: a send is a handoff to whichever goroutine
+// receives.
+func SentOnChannel(ch chan *runner) {
+	r := &runner{} //vet:owned
+	ch <- r
+}
+
+// InLiteral is reported: embedding the owned runner in a composite literal
+// publishes it with the literal.
+func InLiteral() registry {
+	r := &runner{} //vet:owned
+	return registry{last: r}
+}
+
+// Returned is reported: returning the owned value abandons ownership without
+// saying so.
+func Returned() *runner {
+	r := &runner{} //vet:owned
+	return r
+}
+
+// Transferred is clean: the send carries //vet:transfer, the documented
+// ownership handoff.
+func Transferred(ch chan *runner) {
+	r := &runner{} //vet:owned
+	ch <- r        //vet:transfer pool refill: receiver becomes the owner
+}
+
+// Waived is clean in the filtered output: the return is a real finding
+// absorbed by a reasoned waiver.
+func Waived() *runner {
+	r := &runner{} //vet:owned
+	return r       //lint:allow owned constructor escape is the documented API shape here
+}
+
+// Local is clean: synchronous calls and local mutation stay on the creating
+// goroutine.
+func Local(vals []float64) float64 {
+	r := &runner{} //vet:owned
+	for _, v := range vals {
+		r.step(v)
+	}
+	return r.sum
+}

@@ -164,6 +164,8 @@ type Coeffs struct {
 }
 
 // CoeffsAt hoists the power-model invariants for frequency f.
+//
+//vet:hotpath
 func (m *Model) CoeffsAt(f freq.MHz) (Coeffs, error) {
 	v, err := m.p.OPPs.VoltageAt(f)
 	if err != nil {

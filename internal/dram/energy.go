@@ -106,6 +106,8 @@ type EnergyCoeffs struct {
 }
 
 // CoeffsAt hoists the energy-model invariants for clock f.
+//
+//vet:hotpath
 func (m *EnergyModel) CoeffsAt(f freq.MHz) (EnergyCoeffs, error) {
 	bg, err := m.BackgroundPowerW(f)
 	if err != nil {

@@ -97,7 +97,7 @@ func (t *OPPTable) VoltageAt(f MHz) (Volts, error) {
 	if f < pts[0].F || f > pts[len(pts)-1].F {
 		return 0, fmt.Errorf("freq: %v outside OPP range [%v, %v]", f, pts[0].F, pts[len(pts)-1].F)
 	}
-	i := sort.Search(len(pts), func(i int) bool { return pts[i].F >= f })
+	i := searchOPP(pts, f)
 	if pts[i].F == f { //lint:allow floateq OPP tables hold exact discrete frequencies; lookup is identity
 		return pts[i].V, nil
 	}
@@ -106,11 +106,29 @@ func (t *OPPTable) VoltageAt(f MHz) (Volts, error) {
 	return lo.V + Volts(frac*float64(hi.V-lo.V)), nil
 }
 
+// searchOPP returns the least index i with pts[i].F >= f, or len(pts) if
+// every point is below f — sort.Search's contract, open-coded because the
+// voltage lookup sits on the hot CoeffsAt path and the stdlib form hands a
+// capturing predicate closure to an extern call the allocation prover
+// cannot see through.
+func searchOPP(pts []OPP, f MHz) int {
+	lo, hi := 0, len(pts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pts[mid].F < f {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // Nearest returns the operating point whose frequency is closest to f,
 // preferring the lower point on ties.
 func (t *OPPTable) Nearest(f MHz) OPP {
 	pts := t.points
-	i := sort.Search(len(pts), func(i int) bool { return pts[i].F >= f })
+	i := searchOPP(pts, f)
 	if i == 0 {
 		return pts[0]
 	}

@@ -159,6 +159,8 @@ type Coeffs struct {
 }
 
 // CoeffsAt hoists the latency-model invariants for clock f.
+//
+//vet:hotpath
 func (m *Model) CoeffsAt(f freq.MHz) (Coeffs, error) {
 	if err := m.dev.CheckClock(f); err != nil {
 		return Coeffs{}, err

@@ -42,7 +42,7 @@ func newMemo[V any](capacity int) (*memo[V], error) {
 // caller's own compute. Failed computations are not cached; a waiter whose
 // ctx expires abandons the flight without killing it.
 func (m *memo[V]) do(ctx context.Context, key string, compute func() (V, error)) (val V, hit bool, err error) {
-	if v, ok := m.store.Get(key); ok {
+	if v, ok := m.cached(key); ok {
 		return v, true, nil
 	}
 	m.mu.Lock()
@@ -69,4 +69,13 @@ func (m *memo[V]) do(ctx context.Context, key string, compute func() (V, error))
 	m.mu.Unlock()
 	close(f.done)
 	return f.val, false, f.err
+}
+
+// cached is do's fast path — the LRU probe every request pays before any
+// flight bookkeeping. Kept separate so the steady-state read path (memo
+// warm, no concurrent misses) is provably allocation-free.
+//
+//vet:hotpath
+func (m *memo[V]) cached(key string) (V, bool) {
+	return m.store.Get(key)
 }

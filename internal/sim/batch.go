@@ -130,6 +130,8 @@ func (r *Runner) ResetSeed() { r.seedValid = false }
 // time the same sample converged to at the previous setting — correct
 // whenever consecutive calls walk a contiguous chain of operating points,
 // and worth a third of the iterations on neighboring memory steps.
+//
+//vet:hotpath
 func (r *Runner) Solve(st freq.Setting, warm bool) ([]Sample, error) {
 	c, err := r.sys.consts(st)
 	if err != nil {

@@ -269,6 +269,8 @@ func solveTimeNS(computeNS, accesses, mlp, coreNS, serviceNS, bwBoundNS float64,
 // SimulateSample produces the measurement for one workload sample at one
 // setting. It is the thin single-sample wrapper over the batch solver core;
 // sweeping many samples or settings is much faster through Runner.
+//
+//vet:hotpath
 func (s *System) SimulateSample(spec workload.SampleSpec, st freq.Setting) (Sample, error) {
 	if err := validateSpec(spec); err != nil {
 		return Sample{}, err

@@ -209,37 +209,16 @@ func CollectContext(ctx context.Context, sys *sim.System, bench workload.Benchma
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r, err := sim.NewRunner(sys, specs)
+			r, err := sim.NewRunner(sys, specs) //vet:owned each worker's Runner arena is goroutine-private
 			if err != nil {
 				fail(fmt.Errorf("trace: %w", err))
 				return
 			}
 			defer func() { convergenceFailures.Add(r.Stats().ConvergenceFailures) }()
 			for ci := range chains {
-				r.ResetSeed()
-				for mi := nm - 1; mi >= 0; mi-- {
-					if ctx.Err() != nil {
-						return
-					}
-					k := ci*nm + mi
-					st := g.Settings[k]
-					col, err := r.Solve(st, mi < nm-1)
-					if err != nil {
-						fail(fmt.Errorf("trace: setting %v: %w", st, err))
-						return
-					}
-					for s, m := range col {
-						g.Data[s][k] = Measurement{
-							TimeNS:     m.TimeNS,
-							CPUEnergyJ: m.CPUEnergyJ,
-							MemEnergyJ: m.MemEnergyJ,
-							CPI:        m.CPI,
-							MPKI:       m.MPKI,
-						}
-					}
-					if opts.OnProgress != nil {
-						opts.OnProgress(int(columnsDone.Add(1)), space.Len())
-					}
+				if err := drainChain(ctx, r, g, ci, nm, &columnsDone, space.Len(), opts.OnProgress); err != nil {
+					fail(err)
+					return
 				}
 			}
 		}()
@@ -257,6 +236,43 @@ func CollectContext(ctx context.Context, sys *sim.System, bench workload.Benchma
 	}
 	g.ConvergenceFailures = convergenceFailures.Load()
 	return g, nil
+}
+
+// drainChain is one worker's unit of work, and the per-cell cost of the
+// whole collection engine: it solves every memory step of one CPU chain in
+// descending ladder order — warm-starting each column after the first —
+// and scatters the finished columns into the grid. A cancelled ctx stops
+// the chain at the next column boundary and returns nil; CollectContext
+// surfaces ctx's error itself so cancellation is not mistaken for a solve
+// failure.
+//
+//vet:hotpath
+func drainChain(ctx context.Context, r *sim.Runner, g *Grid, ci, nm int, columnsDone *atomic.Int64, total int, onProgress func(done, total int)) error {
+	r.ResetSeed()
+	for mi := nm - 1; mi >= 0; mi-- {
+		if ctx.Err() != nil { //lint:allow hotpath one interface call per column bounds cancellation latency; the per-cell loop below stays check-free
+			return nil
+		}
+		k := ci*nm + mi
+		st := g.Settings[k]
+		col, err := r.Solve(st, mi < nm-1)
+		if err != nil {
+			return fmt.Errorf("trace: setting %v: %w", st, err)
+		}
+		for s := range col {
+			g.Data[s][k] = Measurement{
+				TimeNS:     col[s].TimeNS,
+				CPUEnergyJ: col[s].CPUEnergyJ,
+				MemEnergyJ: col[s].MemEnergyJ,
+				CPI:        col[s].CPI,
+				MPKI:       col[s].MPKI,
+			}
+		}
+		if onProgress != nil {
+			onProgress(int(columnsDone.Add(1)), total) //lint:allow hotpath progress hook runs once per column, not per cell; documented concurrent-safe
+		}
+	}
+	return nil
 }
 
 // WriteJSON serializes the grid.
