@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: verify race lint bench bench-vet bench-sim bench-serve loadtest fuzz all
+.PHONY: verify race lint bench bench-vet bench-sim bench-serve loadtest loadtest-cluster fuzz all
 
 # Benchmark iteration budget for the recorded tiers (bench-sim,
 # bench-serve). Counted iterations keep the records comparable across
@@ -31,6 +31,12 @@ race:
 # demand, cached /v1/optimal p99 under 10ms (see DESIGN.md §8).
 loadtest:
 	$(GO) test ./internal/serve -run TestLoadSmoke -count=1 -v -args -loadsmoke=5s
+
+# Cluster smoke tier: the full internal/cluster suite — 3-node harness,
+# 64-client cluster-wide coalescing, warm-replica fallback, two-phase
+# drain — under the race detector (see DESIGN.md §9).
+loadtest-cluster:
+	$(GO) test -race ./internal/cluster -count=1
 
 # Differential-fuzz smoke tier: FUZZTIME of FuzzBatchVsScalar, the
 # bit-identity oracle between the columnar batch engine and the retained
@@ -56,9 +62,12 @@ bench-sim:
 		| $(GO) run ./cmd/benchjson -out BENCH_sim.json
 
 # Daemon benchmark record: memoized /v1/optimal, cached /v1/grid, and
-# forced-recollection /v1/grid through mcdvfsd, captured as BENCH_serve.json.
+# forced-recollection /v1/grid through mcdvfsd, plus the cluster scaling
+# record (BenchmarkClusterGrid at 1/3/5 nodes — aggregate cache capacity
+# vs a thrashing single node), captured as BENCH_serve.json.
 bench-serve:
-	$(GO) test ./internal/serve -run '^$$' -bench 'BenchmarkServe' \
+	$(GO) test ./internal/serve ./internal/cluster -run '^$$' \
+		-bench 'BenchmarkServe|BenchmarkClusterGrid' \
 		-benchtime $(BENCHTIME) -benchmem \
 		| $(GO) run ./cmd/benchjson -out BENCH_serve.json
 

@@ -8,6 +8,13 @@
 //	mcdvfsload -url http://127.0.0.1:8080 -c 8 -d 10s
 //	mcdvfsload -url http://127.0.0.1:8080 -c 64 -n 6400 -seed 1  # deterministic
 //
+// Multi-target mode drives a cluster: -targets takes every node's URL,
+// -policy picks how each request chooses one, and the report's cache
+// counters become cluster-wide sums with a per-node collection breakdown
+// — the cluster-wide coalescing hit rate is read straight off the run.
+//
+//	mcdvfsload -targets http://a:8080,http://b:8080,http://c:8080 -policy random -c 64 -n 6400
+//
 // The exit status is nonzero if any request got a 5xx or failed at the
 // transport level, which is what `make loadtest` keys off.
 package main
@@ -26,6 +33,9 @@ import (
 
 func main() {
 	url := flag.String("url", "http://127.0.0.1:8080", "daemon base URL")
+	targets := flag.String("targets", "", "comma-separated cluster node URLs (overrides -url)")
+	policy := flag.String("policy", serve.PolicyRoundRobin,
+		"per-request target selection for -targets: round-robin or random")
 	clients := flag.Int("c", 8, "concurrent closed-loop clients")
 	duration := flag.Duration("d", 5*time.Second, "run duration (ignored when -n is set)")
 	requests := flag.Int("n", 0, "total request budget (deterministic mode; 0 = run for -d)")
@@ -34,17 +44,21 @@ func main() {
 	mix := flag.String("mix", "", "request mix, e.g. grid=10,optimal=70,stability=10,emin=5,benchmarks=5")
 	space := flag.String("space", "coarse", "setting space for grid/optimal requests")
 	budget := flag.Float64("budget", 1.3, "inefficiency budget for optimal requests")
+	retryAfterMax := flag.Duration("retry-after-max", 2*time.Second,
+		"cap on honoring a 429's Retry-After hint (negative = ignore hints)")
 	timeout := cliutil.TimeoutFlag(nil)
 	flag.Parse()
 
-	if err := run(*url, *clients, *duration, *requests, *seed, *zipf, *mix, *space, *budget, *timeout); err != nil {
+	if err := run(*url, *targets, *policy, *clients, *duration, *requests,
+		*seed, *zipf, *mix, *space, *budget, *retryAfterMax, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "mcdvfsload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(url string, clients int, duration time.Duration, requests int,
-	seed int64, zipf float64, mixSpec, space string, budget float64, timeout time.Duration) error {
+func run(url, targets, policy string, clients int, duration time.Duration, requests int,
+	seed int64, zipf float64, mixSpec, space string, budget float64,
+	retryAfterMax, timeout time.Duration) error {
 	mix, err := parseMix(mixSpec)
 	if err != nil {
 		return err
@@ -53,15 +67,18 @@ func run(url string, clients int, duration time.Duration, requests int,
 	defer stop()
 
 	report, err := serve.RunLoad(ctx, serve.LoadConfig{
-		BaseURL:  strings.TrimRight(url, "/"),
-		Clients:  clients,
-		Requests: requests,
-		Duration: duration,
-		Seed:     seed,
-		Mix:      mix,
-		ZipfS:    zipf,
-		Space:    space,
-		Budget:   budget,
+		BaseURL:       strings.TrimRight(url, "/"),
+		Targets:       parseTargets(targets),
+		Policy:        policy,
+		Clients:       clients,
+		Requests:      requests,
+		Duration:      duration,
+		Seed:          seed,
+		Mix:           mix,
+		ZipfS:         zipf,
+		Space:         space,
+		Budget:        budget,
+		RetryAfterMax: retryAfterMax,
 	})
 	if err != nil {
 		return err
@@ -72,6 +89,21 @@ func run(url string, clients int, duration time.Duration, requests int,
 			report.Status5xx, report.TransportErrors)
 	}
 	return nil
+}
+
+// parseTargets splits the -targets list; empty entries drop out and an
+// empty spec returns nil so RunLoad falls back to -url.
+func parseTargets(spec string) []string {
+	if spec == "" {
+		return nil
+	}
+	var out []string
+	for _, t := range strings.Split(spec, ",") {
+		if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // parseMix reads "grid=10,optimal=70,..." into a LoadMix; an empty spec

@@ -1,0 +1,635 @@
+package cluster
+
+// In-process cluster suite over the TestHarness. The contention-sensitive
+// cases are deterministic the same way the serve suite's are: admission
+// pools are filled by hand (Server.AcquireCollectSlot), flights are
+// observed through the published in-flight list rather than sleeps, and
+// outcomes are asserted through the same /metrics counters production
+// monitoring reads.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mcdvfs/internal/serve"
+	"mcdvfs/internal/trace"
+	"mcdvfs/internal/workload"
+)
+
+// post sends one JSON request to url+path with optional extra headers.
+func post(t *testing.T, url, path string, v any, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, val := range hdr {
+		req.Header.Set(k, val)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s%s: %v", url, path, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func get(t *testing.T, url, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url + path)
+	if err != nil {
+		t.Fatalf("GET %s%s: %v", url, path, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// metric scrapes one counter from a node's /metrics.
+func metric(t *testing.T, url, name string) int64 {
+	t.Helper()
+	resp, data := get(t, url, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			var v int64
+			fmt.Sscanf(fields[1], "%d", &v)
+			return v
+		}
+	}
+	return 0
+}
+
+// sumMetric sums one counter across every harness node.
+func sumMetric(t *testing.T, h *TestHarness, name string) int64 {
+	t.Helper()
+	var total int64
+	for i := 0; i < h.Len(); i++ {
+		total += metric(t, h.URL(i), name)
+	}
+	return total
+}
+
+// benchesOwnedBy returns registry benchmarks whose coarse key the given
+// harness node owns.
+func benchesOwnedBy(h *TestHarness, idx int) []string {
+	var out []string
+	for _, b := range workload.Names() {
+		if h.NodeFor(b, "coarse") == idx {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// waitFor polls cond until true or the deadline, without asserting — the
+// caller decides what a timeout means.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cond()
+}
+
+// TestClusterRouting checks the routing plumbing end to end: every node
+// answers /v1/cluster/ring with the same membership, a request for an
+// owned key is served in place, and a request landing on a non-owner
+// comes back stamped with the owner's ID.
+func TestClusterRouting(t *testing.T) {
+	h, err := NewTestHarness(HarnessConfig{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, data := get(t, h.URL(i), "/v1/cluster/ring")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("node %d ring status %d", i, resp.StatusCode)
+		}
+		var ring RingResponse
+		if err := json.Unmarshal(data, &ring); err != nil {
+			t.Fatal(err)
+		}
+		if len(ring.Nodes) != 3 || ring.Self != nodeID(i) || ring.Draining {
+			t.Errorf("node %d ring = %+v", i, ring)
+		}
+	}
+
+	const bench = "milc"
+	ownerIdx := h.NodeFor(bench, "coarse")
+	if ownerIdx < 0 {
+		t.Fatal("no owner found")
+	}
+	proxyIdx := (ownerIdx + 1) % 3
+	resp, data := post(t, h.URL(proxyIdx), "/v1/grid", serve.GridRequest{Benchmark: bench}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied grid status %d: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get(HeaderNode); got != nodeID(ownerIdx) {
+		t.Errorf("served by %q, want owner %q", got, nodeID(ownerIdx))
+	}
+	if _, err := trace.ReadJSON(bytes.NewReader(data)); err != nil {
+		t.Errorf("proxied grid body invalid: %v", err)
+	}
+	if got := metric(t, h.URL(proxyIdx), "mcdvfsd_cluster_proxied_total"); got != 1 {
+		t.Errorf("proxied_total = %d, want 1", got)
+	}
+	if got := metric(t, h.URL(ownerIdx), "mcdvfsd_cluster_forwarded_served_total"); got != 1 {
+		t.Errorf("forwarded_served_total = %d, want 1", got)
+	}
+
+	// A second request from the same proxy must not proxy again for a
+	// locally owned key: send one the proxy owns.
+	ownBench := benchesOwnedBy(h, proxyIdx)
+	if len(ownBench) == 0 {
+		t.Fatal("proxy node owns no benchmark")
+	}
+	resp, data = post(t, h.URL(proxyIdx), "/v1/grid", serve.GridRequest{Benchmark: ownBench[0]}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("local grid status %d: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get(HeaderNode); got != nodeID(proxyIdx) {
+		t.Errorf("owned key served by %q, want local %q", got, nodeID(proxyIdx))
+	}
+}
+
+// TestClusterCoalescing64 is the tentpole acceptance case: 64 concurrent
+// clients spread across 3 nodes all demanding the same grid must cost the
+// cluster exactly one collection — routing concentrates every caller on
+// the owner, whose singleflight coalesces them.
+func TestClusterCoalescing64(t *testing.T) {
+	h, err := NewTestHarness(HarnessConfig{
+		Nodes: 3,
+		// This case pins coalescing, not timeout recovery: under the race
+		// detector, streaming 64 copies of the grid out of one process can
+		// outlast the default proxy timeout, and a timed-out forward would
+		// legitimately fall back — so give forwards all the time they need.
+		Mutate: func(i int, cfg *Config) { cfg.ProxyTimeout = 2 * time.Minute },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	const bench = "milc"
+	const clients = 64
+	var wg sync.WaitGroup
+	codes := make([]int, clients)
+	servedBy := make([]string, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := post(t, h.URL(i%3), "/v1/grid", serve.GridRequest{Benchmark: bench}, nil)
+			codes[i] = resp.StatusCode
+			servedBy[i] = resp.Header.Get(HeaderNode)
+		}(i)
+	}
+	wg.Wait()
+
+	owner := nodeID(h.NodeFor(bench, "coarse"))
+	for i := 0; i < clients; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("client %d: status %d", i, codes[i])
+		}
+		if servedBy[i] != owner {
+			t.Errorf("client %d served by %q, want owner %q", i, servedBy[i], owner)
+		}
+	}
+	if got := sumMetric(t, h, "mcdvfsd_grid_collections_total"); got != 1 {
+		t.Errorf("cluster-wide collections = %d, want exactly 1 for %d identical requests", got, clients)
+	}
+	if got := sumMetric(t, h, "mcdvfsd_grid_requests_total"); got != clients {
+		t.Errorf("cluster-wide grid requests = %d, want %d", got, clients)
+	}
+}
+
+// TestClusterMetricsAggregation checks GET /v1/cluster/metrics: every
+// node appears, totals are the column sums of the per-node breakdown, and
+// a dark node degrades to a partial aggregation with the failure named.
+func TestClusterMetricsAggregation(t *testing.T) {
+	h, err := NewTestHarness(HarnessConfig{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// Generate a little cross-node traffic first.
+	for _, bench := range []string{"milc", "gcc", "astar"} {
+		resp, data := post(t, h.URL(0), "/v1/grid", serve.GridRequest{Benchmark: bench}, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("grid %s status %d: %s", bench, resp.StatusCode, data)
+		}
+	}
+
+	resp, data := get(t, h.URL(1), "/v1/cluster/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster metrics status %d", resp.StatusCode)
+	}
+	var agg ClusterMetricsResponse
+	if err := json.Unmarshal(data, &agg); err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Nodes) != 3 || len(agg.Errors) != 0 {
+		t.Fatalf("aggregation nodes=%d errors=%v, want 3 nodes and no errors", len(agg.Nodes), agg.Errors)
+	}
+	for _, name := range []string{"mcdvfsd_grid_collections_total", "mcdvfsd_cluster_proxied_total"} {
+		var sum int64
+		for _, m := range agg.Nodes {
+			sum += m[name]
+		}
+		if agg.Total[name] != sum {
+			t.Errorf("Total[%s] = %d, want per-node sum %d", name, agg.Total[name], sum)
+		}
+	}
+	if agg.Total["mcdvfsd_grid_collections_total"] != 3 {
+		t.Errorf("collections total = %d, want 3 (one per benchmark)", agg.Total["mcdvfsd_grid_collections_total"])
+	}
+
+	// Kill one node; the aggregation must degrade, not fail.
+	h.servers[2].Close()
+	resp, data = get(t, h.URL(0), "/v1/cluster/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial cluster metrics status %d", resp.StatusCode)
+	}
+	agg = ClusterMetricsResponse{}
+	if err := json.Unmarshal(data, &agg); err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Nodes) != 2 {
+		t.Errorf("partial aggregation has %d nodes, want 2", len(agg.Nodes))
+	}
+	if _, ok := agg.Errors[nodeID(2)]; !ok {
+		t.Errorf("dark node missing from Errors: %v", agg.Errors)
+	}
+}
+
+// TestCachedOnlyProbeNeverCollects pins the warm-replica probe contract:
+// a cached-only request against a cold node refuses instead of
+// collecting. A probe that could trigger a collection would let owner
+// saturation fan work out to every replica — the exact failure mode the
+// ring exists to prevent.
+func TestCachedOnlyProbeNeverCollects(t *testing.T) {
+	h, err := NewTestHarness(HarnessConfig{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	const bench = "milc"
+	ownerIdx := h.NodeFor(bench, "coarse")
+	resp, data := post(t, h.URL(ownerIdx), "/v1/grid", serve.GridRequest{Benchmark: bench},
+		map[string]string{HeaderForwarded: "node9", HeaderCachedOnly: "1"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cold cached-only probe status %d (%s), want 404", resp.StatusCode, data)
+	}
+	if got := sumMetric(t, h, "mcdvfsd_grid_collections_total"); got != 0 {
+		t.Errorf("collections = %d after cached-only probe, want 0", got)
+	}
+}
+
+// TestWarmReplicaStaleFallback is the owner-saturation acceptance case: a
+// replica holding a seeded copy answers for a shedding owner, marked
+// stale; a key with no warm copy relays the shed untouched.
+func TestWarmReplicaStaleFallback(t *testing.T) {
+	h, err := NewTestHarness(HarnessConfig{
+		Nodes:    3,
+		Replicas: 2,
+		Serve:    serve.Config{PoolSize: 1, QueueDepth: -1, RetryAfter: 7 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	const bench = "milc"
+	ownerIdx := h.NodeFor(bench, "coarse")
+	ownerNode := h.Node(ownerIdx)
+	key := ownerNode.gridKey(bench, "coarse")
+	reps := ownerNode.ring.Replicas(key, 2)
+	var repIdx, proxyIdx = -1, -1
+	for i := 0; i < 3; i++ {
+		switch nodeID(i) {
+		case reps[0]:
+		case reps[1]:
+			repIdx = i
+		default:
+			proxyIdx = i
+		}
+	}
+	if repIdx < 0 || proxyIdx < 0 {
+		t.Fatalf("degenerate replica layout: %v", reps)
+	}
+
+	// Warm the replica organically: a proxied 200 through it seeds its
+	// local cache.
+	resp, data := post(t, h.URL(repIdx), "/v1/grid", serve.GridRequest{Benchmark: bench}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup status %d: %s", resp.StatusCode, data)
+	}
+	if !waitFor(t, 2*time.Second, func() bool {
+		return metric(t, h.URL(repIdx), "mcdvfsd_cluster_replica_seeds_total") == 1
+	}) {
+		t.Fatal("replica never seeded its copy")
+	}
+
+	// Make the owner need a collection again, then saturate it.
+	ownerNode.Server().Lab().Forget(bench)
+	release, err := ownerNode.Server().AcquireCollectSlot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// Through a third node: the owner sheds, no flight is published, so
+	// the router serves the replica's warm copy marked stale.
+	resp, data = post(t, h.URL(proxyIdx), "/v1/grid", serve.GridRequest{Benchmark: bench}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fallback status %d: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get(HeaderStale); got != "maybe" {
+		t.Errorf("stale header %q, want maybe", got)
+	}
+	if got := resp.Header.Get(HeaderNode); got != nodeID(repIdx) {
+		t.Errorf("fallback served by %q, want replica %q", got, nodeID(repIdx))
+	}
+	if _, err := trace.ReadJSON(bytes.NewReader(data)); err != nil {
+		t.Errorf("fallback grid invalid: %v", err)
+	}
+	if got := metric(t, h.URL(proxyIdx), "mcdvfsd_cluster_stale_fallbacks_total"); got != 1 {
+		t.Errorf("stale_fallbacks_total = %d, want 1", got)
+	}
+
+	// A different key owned by the same saturated node has no warm copy
+	// anywhere: the shed relays through, Retry-After intact.
+	others := benchesOwnedBy(h, ownerIdx)
+	var cold string
+	for _, b := range others {
+		if b != bench {
+			cold = b
+			break
+		}
+	}
+	if cold == "" {
+		t.Skip("owner owns only one benchmark")
+	}
+	resp, data = post(t, h.URL(proxyIdx), "/v1/grid", serve.GridRequest{Benchmark: cold}, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("cold shed status %d (%s), want 429", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("relayed Retry-After %q, want 7", got)
+	}
+}
+
+// TestProxyWaitsOnOwnerInflight pins the peer-aware singleflight edge: a
+// proxy whose forward times out while the owner's collection is still
+// running must wait for that flight and re-ask — never re-collect.
+func TestProxyWaitsOnOwnerInflight(t *testing.T) {
+	h, err := NewTestHarness(HarnessConfig{
+		Nodes: 3,
+		Serve: serve.Config{PoolSize: 1},
+		// The tiny proxy timeout forces the forward to expire while the
+		// owner's slot is held — the flight itself is blocked on the pool,
+		// so any finite timeout fires deterministically. It still has to
+		// leave room for the retry to stream the finished grid back, which
+		// under the race detector takes real time.
+		Mutate: func(i int, cfg *Config) {
+			cfg.ProxyTimeout = time.Second
+			cfg.InflightPoll = 5 * time.Millisecond
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	const bench = "milc"
+	ownerIdx := h.NodeFor(bench, "coarse")
+	ownerNode := h.Node(ownerIdx)
+	proxyIdx := (ownerIdx + 1) % 3
+	key := ownerNode.gridKey(bench, "coarse")
+
+	// Hold the owner's only slot, then start a flight that queues on it.
+	release, err := ownerNode.Server().AcquireCollectSlot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flightDone := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, h.URL(ownerIdx), "/v1/grid", serve.GridRequest{Benchmark: bench}, nil)
+		flightDone <- resp.StatusCode
+	}()
+	if !waitFor(t, 5*time.Second, func() bool {
+		for _, k := range ownerNode.inflight.snapshot() {
+			if k == key {
+				return true
+			}
+		}
+		return false
+	}) {
+		release()
+		t.Fatal("owner never published the flight")
+	}
+
+	// The proxied request joins the stalled flight, times out at 150ms,
+	// sees the published key, and waits. Release the slot once the wait is
+	// observable; the retry must then hit the owner's warm cache.
+	proxyDone := make(chan struct{})
+	var resp *http.Response
+	var respBody []byte
+	go func() {
+		defer close(proxyDone)
+		resp, respBody = post(t, h.URL(proxyIdx), "/v1/grid", serve.GridRequest{Benchmark: bench}, nil)
+	}()
+	if !waitFor(t, 5*time.Second, func() bool {
+		return h.Node(proxyIdx).met.inflightWaits.Load() == 1
+	}) {
+		release()
+		t.Fatal("proxy never entered the in-flight wait")
+	}
+	release()
+
+	select {
+	case <-proxyDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("proxied request never completed")
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied status %d, want 200 after in-flight wait: %s", resp.StatusCode, respBody)
+	}
+	if code := <-flightDone; code != http.StatusOK {
+		t.Fatalf("direct flight status %d", code)
+	}
+	if got := sumMetric(t, h, "mcdvfsd_grid_collections_total"); got != 1 {
+		t.Errorf("collections = %d, want 1 — the waiting proxy must not re-collect", got)
+	}
+}
+
+// TestDrainRefusalAndFailover is the graceful-drain acceptance case: a
+// draining node keeps serving its in-flight proxied collection but
+// refuses new proxied ring writes, and the refusing hint makes the router
+// fail over to the next replica.
+func TestDrainRefusalAndFailover(t *testing.T) {
+	h, err := NewTestHarness(HarnessConfig{
+		Nodes: 3,
+		Serve: serve.Config{PoolSize: 1, QueueDepth: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// Two benchmarks owned by the same node: one in flight when the drain
+	// begins, one arriving after.
+	var ownerIdx int
+	var owned []string
+	for i := 0; i < 3; i++ {
+		if owned = benchesOwnedBy(h, i); len(owned) >= 2 {
+			ownerIdx = i
+			break
+		}
+	}
+	if len(owned) < 2 {
+		t.Fatal("no node owns two benchmarks")
+	}
+	ownerNode := h.Node(ownerIdx)
+	proxyIdx := (ownerIdx + 1) % 3
+	inflightBench, lateBench := owned[0], owned[1]
+
+	release, err := ownerNode.Server().AcquireCollectSlot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflightDone := make(chan *http.Response, 1)
+	go func() {
+		resp, _ := post(t, h.URL(proxyIdx), "/v1/grid", serve.GridRequest{Benchmark: inflightBench}, nil)
+		inflightDone <- resp
+	}()
+	key := ownerNode.gridKey(inflightBench, "coarse")
+	if !waitFor(t, 5*time.Second, func() bool {
+		for _, k := range ownerNode.inflight.snapshot() {
+			if k == key {
+				return true
+			}
+		}
+		return false
+	}) {
+		release()
+		t.Fatal("proxied flight never started on the owner")
+	}
+
+	ownerNode.BeginDrain()
+	if !ownerNode.Draining() {
+		t.Fatal("BeginDrain did not mark the node draining")
+	}
+
+	// A proxied write arriving now must be refused with the hint and fail
+	// over to a replica, which serves it (collecting locally if needed).
+	resp, data := post(t, h.URL(proxyIdx), "/v1/grid", serve.GridRequest{Benchmark: lateBench}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover status %d: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get(HeaderNode); got == nodeID(ownerIdx) {
+		t.Errorf("failover served by the draining owner")
+	}
+	if got := metric(t, h.URL(ownerIdx), "mcdvfsd_cluster_drain_refusals_total"); got != 1 {
+		t.Errorf("drain_refusals_total = %d, want 1", got)
+	}
+	if got := metric(t, h.URL(proxyIdx), "mcdvfsd_cluster_drain_failovers_total"); got != 1 {
+		t.Errorf("drain_failovers_total = %d, want 1", got)
+	}
+
+	// The collection already in flight on the draining owner still
+	// completes for its proxied caller.
+	release()
+	select {
+	case resp := <-inflightDone:
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("in-flight proxied collection status %d after drain, want 200", resp.StatusCode)
+		}
+		if got := resp.Header.Get(HeaderNode); got != nodeID(ownerIdx) {
+			t.Errorf("in-flight collection served by %q, want draining owner %q", got, nodeID(ownerIdx))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight proxied collection never completed")
+	}
+}
+
+// TestClusterLoadMultiTarget drives the mcdvfsload path end to end
+// against the harness: multi-target random policy, cluster-wide counter
+// deltas, per-node breakdown.
+func TestClusterLoadMultiTarget(t *testing.T) {
+	h, err := NewTestHarness(HarnessConfig{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	report, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		Targets:  h.URLs(),
+		Policy:   serve.PolicyRandom,
+		Clients:  8,
+		Requests: 64,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Requests != 64 {
+		t.Errorf("requests = %d, want 64", report.Requests)
+	}
+	if report.Status5xx != 0 || report.TransportErrors != 0 {
+		t.Errorf("5xx=%d transport=%d, want clean run\n%s", report.Status5xx, report.TransportErrors, report)
+	}
+	if len(report.ScrapeWarnings) != 0 {
+		t.Errorf("scrape warnings: %v", report.ScrapeWarnings)
+	}
+	var nodeSum int64
+	for _, v := range report.NodeGridCollections {
+		nodeSum += v
+	}
+	if nodeSum != report.GridCollections {
+		t.Errorf("per-node collections sum %d != cluster total %d", nodeSum, report.GridCollections)
+	}
+	if report.GridRequests > 0 && report.GridCacheHits+report.GridCollections+report.GridDiskLoads != report.GridRequests {
+		t.Errorf("grid accounting: %d hits + %d collections + %d disk != %d requests",
+			report.GridCacheHits, report.GridCollections, report.GridDiskLoads, report.GridRequests)
+	}
+
+	if _, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		Targets: h.URLs(),
+		Policy:  "bogus",
+	}); err == nil {
+		t.Error("bogus policy accepted, want error")
+	}
+}

@@ -1,0 +1,67 @@
+package cluster
+
+// The in-flight key registry behind peer-aware singleflight. The owner of
+// a key publishes the key for exactly the lifetime of its grid-cache
+// flight (experiments.WithCollectSpan wired through serve.Config), and
+// GET /v1/cluster/inflight exposes the snapshot. A proxy whose forward to
+// the owner sheds or times out consults this list: a published key means
+// the result is coming, so the right move is to wait and re-ask the owner
+// — never to re-collect the same grid somewhere else.
+
+import (
+	"sort"
+	"sync"
+)
+
+// inflightRegistry refcounts keys with an owned flight underway.
+// Refcounting (rather than a set) keeps coarse and fine flights for the
+// same benchmark independent — each key carries its space and config
+// hash, but two distinct flights must never cancel each other's
+// publication.
+type inflightRegistry struct {
+	mu   sync.Mutex
+	keys map[string]int
+}
+
+func newInflightRegistry() *inflightRegistry {
+	return &inflightRegistry{keys: make(map[string]int)}
+}
+
+// enter publishes key; the returned func withdraws it. Safe for
+// concurrent use from every flight-owning goroutine.
+func (r *inflightRegistry) enter(key string) (exit func()) {
+	r.mu.Lock()
+	r.keys[key]++
+	r.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			r.mu.Lock()
+			if r.keys[key] <= 1 {
+				delete(r.keys, key)
+			} else {
+				r.keys[key]--
+			}
+			r.mu.Unlock()
+		})
+	}
+}
+
+// snapshot returns the published keys, sorted for deterministic output.
+func (r *inflightRegistry) snapshot() []string {
+	r.mu.Lock()
+	out := make([]string, 0, len(r.keys))
+	for k := range r.keys {
+		out = append(out, k)
+	}
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// len is the gauge read for /metrics.
+func (r *inflightRegistry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.keys)
+}

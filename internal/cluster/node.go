@@ -1,0 +1,677 @@
+package cluster
+
+// Node is one cluster member: a full mcdvfsd (serve.Server) wrapped in a
+// thin router. Requests routable by key — POST /v1/grid and /v1/optimal
+// with a named benchmark — are served locally when this node owns the
+// key and proxied to the owner otherwise; everything else (inline
+// workloads, predictors, registry, health, metrics) is served locally.
+//
+// The routing invariants:
+//
+//   - Loop guard: a request carrying X-MCDVFS-Forwarded is never proxied
+//     again. Under ring agreement it landed on the owner; under
+//     disagreement (mid-rollout mixed peer lists) it is served where it
+//     landed rather than bouncing.
+//   - Peer-aware singleflight: proxies forward to the owner, whose Lab
+//     singleflight coalesces every caller cluster-wide. If the forward
+//     sheds or times out while the owner publishes the key in flight,
+//     the proxy waits for that flight and re-asks — it never starts a
+//     second collection for a key someone is already collecting.
+//   - Warm-replica fallback: when the owner sheds (429) or is
+//     unreachable and no flight is in sight, the proxy serves a
+//     replica's cached copy, marked X-MCDVFS-Stale: maybe. Only cached
+//     copies qualify — a fallback must never trigger a collection on a
+//     non-owner.
+//   - Drain: a draining node refuses newly proxied ring writes with 503
+//     + X-MCDVFS-Draining so routers fail over to the next replica,
+//     while flights already in progress finish under the normal
+//     connection drain.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"mcdvfs/internal/serve"
+	"mcdvfs/internal/trace"
+)
+
+// readGridJSON decodes a proxied grid body, validation included.
+func readGridJSON(body []byte) (*trace.Grid, error) {
+	return trace.ReadJSON(bytes.NewReader(body))
+}
+
+// Wire headers of the cluster protocol.
+const (
+	// HeaderForwarded carries the proxying node's ID; its presence is the
+	// loop guard.
+	HeaderForwarded = "X-MCDVFS-Forwarded"
+	// HeaderCachedOnly asks a node to answer a grid request from its
+	// completed cache or 404 — never to collect.
+	HeaderCachedOnly = "X-MCDVFS-Cached-Only"
+	// HeaderStale marks a response served from a warm replica instead of
+	// the owner; its value is always "maybe" — the replica's copy was
+	// valid when replicated, but the owner was not consulted.
+	HeaderStale = "X-MCDVFS-Stale"
+	// HeaderDraining marks a refusal from a draining node; routers treat
+	// it as "fail over now".
+	HeaderDraining = "X-MCDVFS-Draining"
+	// HeaderNode names the node that actually served a routed response.
+	HeaderNode = "X-MCDVFS-Node"
+)
+
+// Config assembles one node.
+type Config struct {
+	// Self is this node's ring ID. In production it is the advertise URL
+	// and must appear in Peers.
+	Self string
+	// Peers maps every ring member's ID to its base URL, self included.
+	Peers map[string]string
+	// Replicas is the replica-set size per key, owner included. Each key
+	// has Replicas-1 designated warm replicas. Default 2, clamped to the
+	// cluster size.
+	Replicas int
+	// VirtualNodes is the ring's per-node vnode count; <= 0 selects
+	// DefaultVirtualNodes.
+	VirtualNodes int
+	// ProxyTimeout bounds one forward to a peer. On expiry the proxy
+	// consults the owner's in-flight list rather than failing outright.
+	// Default 15s.
+	ProxyTimeout time.Duration
+	// InflightPoll is the interval at which a waiting proxy re-reads the
+	// owner's in-flight list. Default 25ms.
+	InflightPoll time.Duration
+	// DrainHint is phase one of the two-phase drain: how long the node
+	// keeps answering (refusing ring writes with the draining hint) after
+	// shutdown begins, so peers observe the hint and fail over before the
+	// listener closes. Default 250ms.
+	DrainHint time.Duration
+	// Serve configures the embedded daemon.
+	Serve serve.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.ProxyTimeout <= 0 {
+		c.ProxyTimeout = 15 * time.Second
+	}
+	if c.InflightPoll <= 0 {
+		c.InflightPoll = 25 * time.Millisecond
+	}
+	if c.DrainHint <= 0 {
+		c.DrainHint = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Node is one cluster member.
+type Node struct {
+	cfg      Config
+	self     string
+	ring     *Ring
+	srv      *serve.Server
+	inflight *inflightRegistry
+	met      *clusterMetrics
+	client   *http.Client
+	mux      *http.ServeMux
+	keyHash  map[string]string // space name -> platform config hash
+	draining atomic.Bool
+}
+
+// NewNode builds a node and its embedded daemon. The ring is fixed at
+// construction (static peer lists for now); every peer must build its
+// ring from the same ID set to route identically.
+func NewNode(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Config.Self is required")
+	}
+	if _, ok := cfg.Peers[cfg.Self]; !ok {
+		return nil, fmt.Errorf("cluster: self %q missing from peer map", cfg.Self)
+	}
+	ids := make([]string, 0, len(cfg.Peers))
+	for id := range cfg.Peers {
+		ids = append(ids, id)
+	}
+	ring, err := NewRing(ids, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Replicas > ring.Len() {
+		cfg.Replicas = ring.Len()
+	}
+	n := &Node{
+		cfg:      cfg,
+		self:     cfg.Self,
+		ring:     ring,
+		inflight: newInflightRegistry(),
+		met:      &clusterMetrics{},
+		client:   &http.Client{},
+		mux:      http.NewServeMux(),
+	}
+	// The span publishes this node's flights to peers. It closes over n
+	// before the embedded server exists; that is safe because flights only
+	// start from HTTP handlers, which cannot run until NewNode returns.
+	serveCfg := cfg.Serve
+	serveCfg.CollectSpan = func(bench, space string) func() {
+		return n.inflight.enter(n.gridKey(bench, space))
+	}
+	n.srv, err = serve.New(serveCfg)
+	if err != nil {
+		return nil, err
+	}
+	n.keyHash = make(map[string]string, 2)
+	for _, space := range []string{"coarse", "fine"} {
+		h, err := n.srv.Lab().GridKeyHash(space)
+		if err != nil {
+			return nil, err
+		}
+		n.keyHash[space] = h
+	}
+	n.routes()
+	return n, nil
+}
+
+// Server exposes the embedded daemon (harnesses saturate its admission
+// pool and reach its Lab through it).
+func (n *Node) Server() *serve.Server { return n.srv }
+
+// Ring exposes the node's routing ring.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// ID returns the node's ring ID.
+func (n *Node) ID() string { return n.self }
+
+// gridKey is the cluster routing key: benchmark, space, and the platform
+// config hash, so nodes simulating different platforms can never be
+// conflated into one shard.
+func (n *Node) gridKey(bench, space string) string {
+	hash := ""
+	if n.keyHash != nil {
+		hash = n.keyHash[space]
+	}
+	return bench + "|" + space + "|" + hash
+}
+
+func (n *Node) peerURL(id string) string {
+	return strings.TrimRight(n.cfg.Peers[id], "/")
+}
+
+func (n *Node) routes() {
+	n.mux.HandleFunc("POST /v1/grid", func(w http.ResponseWriter, r *http.Request) {
+		n.route(w, r, true)
+	})
+	n.mux.HandleFunc("POST /v1/optimal", func(w http.ResponseWriter, r *http.Request) {
+		n.route(w, r, false)
+	})
+	n.mux.HandleFunc("GET /v1/cluster/ring", n.handleRing)
+	n.mux.HandleFunc("GET /v1/cluster/inflight", n.handleInflight)
+	n.mux.HandleFunc("GET /v1/cluster/metrics", n.handleClusterMetrics)
+	n.mux.HandleFunc("GET /metrics", n.handleMetrics)
+	n.mux.Handle("/", n.srv.Handler())
+}
+
+// Handler returns the node's root handler: the router in front of the
+// embedded daemon.
+func (n *Node) Handler() http.Handler { return n.mux }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// serveLocal dispatches to the embedded daemon, stamping which node
+// served.
+func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(HeaderNode, n.self)
+	n.srv.Handler().ServeHTTP(w, r)
+}
+
+// routeProbe is the loose pre-parse of a routable body: only the routing
+// fields matter here; the local handler re-decodes strictly.
+type routeProbe struct {
+	Benchmark string `json:"benchmark"`
+	Space     string `json:"space"`
+}
+
+// route is the router for key-addressable endpoints. isGrid selects the
+// grid-specific behaviors (cached-only serving, replica seeding, stale
+// fallback); /v1/optimal shares the routing but never serves stale.
+func (n *Node) route(w http.ResponseWriter, r *http.Request, isGrid bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
+		return
+	}
+	forwarded := r.Header.Get(HeaderForwarded)
+	if forwarded != "" && n.draining.Load() {
+		// Phase one of the drain: this node is leaving the ring, so newly
+		// proxied writes are refused with the hint; the proxying router
+		// fails over to the next replica. Requests from this node's own
+		// clients still drain normally.
+		n.met.drainRefusals.Add(1)
+		w.Header().Set(HeaderDraining, "1")
+		writeError(w, http.StatusServiceUnavailable, "node draining; fail over")
+		return
+	}
+
+	var probe routeProbe
+	_ = json.Unmarshal(body, &probe) // malformed bodies route local; the handler 400s
+	space, ok := normalizeSpace(probe.Space)
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	if probe.Benchmark == "" || !ok {
+		// Inline workloads and invalid requests are not key-addressable.
+		n.serveLocal(w, r)
+		return
+	}
+	key := n.gridKey(probe.Benchmark, space)
+	owner := n.ring.Owner(key)
+
+	if owner == n.self || forwarded != "" {
+		if forwarded != "" {
+			n.met.forwardedServed.Add(1)
+		}
+		if isGrid && r.Header.Get(HeaderCachedOnly) != "" {
+			n.serveCachedOnly(w, probe.Benchmark, space)
+			return
+		}
+		n.serveLocal(w, r)
+		return
+	}
+	n.proxy(w, r, body, key, probe.Benchmark, space, owner, isGrid)
+}
+
+// normalizeSpace maps request space names onto the two published spaces.
+func normalizeSpace(name string) (string, bool) {
+	switch name {
+	case "", "coarse":
+		return "coarse", true
+	case "fine":
+		return "fine", true
+	default:
+		return "", false
+	}
+}
+
+// serveCachedOnly answers a grid request from the completed cache or
+// refuses — the endpoint a proxy probes for warm copies, so it must never
+// collect.
+func (n *Node) serveCachedOnly(w http.ResponseWriter, bench, space string) {
+	g, ok := n.srv.Lab().PeekGrid(bench, space)
+	if !ok {
+		writeError(w, http.StatusNotFound, "grid not cached on this node")
+		return
+	}
+	w.Header().Set(HeaderNode, n.self)
+	writeJSON(w, http.StatusOK, g)
+}
+
+// proxy forwards a routable request to its owner and supervises the
+// outcome: relay on success (seeding a replica copy when this node is in
+// the key's replica set), wait-and-retry when the owner publishes the key
+// in flight, fail over past a draining owner, and fall back to a warm
+// replica when the owner sheds.
+func (n *Node) proxy(w http.ResponseWriter, r *http.Request, body []byte, key, bench, space, owner string, isGrid bool) {
+	ctx := r.Context()
+	n.met.proxied.Add(1)
+	resp, err := n.forward(ctx, owner, r.URL.Path, r.Header.Get("Content-Type"), body)
+	if err != nil {
+		n.met.proxyErrors.Add(1)
+		if ctx.Err() != nil {
+			writeError(w, http.StatusGatewayTimeout, fmt.Sprintf("forward to %s: %v", owner, err))
+			return
+		}
+		// The owner stalled or is unreachable. If it is still up and
+		// publishes the key in flight, the collection is coming: wait on it
+		// instead of re-collecting (peer-aware singleflight). Otherwise a
+		// warm replica is the best answer left.
+		if n.awaitOwnerFlight(ctx, owner, key) {
+			if retry, rerr := n.forward(ctx, owner, r.URL.Path, r.Header.Get("Content-Type"), body); rerr == nil {
+				if retry.status < 300 {
+					n.relay(w, retry, bench, space, isGrid)
+					return
+				}
+			}
+		}
+		if isGrid && n.serveStaleFallback(ctx, w, key, bench, space) {
+			return
+		}
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("forward to %s: %v", owner, err))
+		return
+	}
+
+	switch {
+	case resp.status == http.StatusTooManyRequests:
+		// Owner saturated. A published in-flight key means a collection is
+		// running there — wait for it, then re-ask (the retry lands on the
+		// owner's warm cache). No flight in sight: serve a replica's warm
+		// copy, marked stale; else pass the shed through, hint intact.
+		if n.awaitOwnerFlight(ctx, owner, key) {
+			if retry, rerr := n.forward(ctx, owner, r.URL.Path, r.Header.Get("Content-Type"), body); rerr == nil && retry.status < 300 {
+				n.relay(w, retry, bench, space, isGrid)
+				return
+			}
+		}
+		if isGrid && n.serveStaleFallback(ctx, w, key, bench, space) {
+			return
+		}
+		n.relay(w, resp, bench, space, false)
+	case resp.status == http.StatusServiceUnavailable && resp.header.Get(HeaderDraining) != "":
+		// The owner is leaving the ring: act as if it were gone and hand
+		// the key to the next replica in preference order, forwarded so the
+		// target serves it without re-proxying.
+		n.met.drainFailovers.Add(1)
+		for _, id := range n.ring.Replicas(key, n.ring.Len())[1:] {
+			if id == n.self {
+				r.Body = io.NopCloser(bytes.NewReader(body))
+				n.met.forwardedServed.Add(1)
+				n.serveLocal(w, r)
+				return
+			}
+			if fo, ferr := n.forward(ctx, id, r.URL.Path, r.Header.Get("Content-Type"), body); ferr == nil && fo.status < 500 {
+				n.relay(w, fo, bench, space, isGrid)
+				return
+			}
+		}
+		n.relay(w, resp, bench, space, false)
+	default:
+		n.relay(w, resp, bench, space, isGrid)
+	}
+}
+
+// proxyResponse is one fully read peer response.
+type proxyResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// forward sends one request to a peer with the loop-guard header, bounded
+// by ProxyTimeout, and reads the full response.
+func (n *Node) forward(ctx context.Context, id, path, contentType string, body []byte) (*proxyResponse, error) {
+	fctx, cancel := context.WithTimeout(ctx, n.cfg.ProxyTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodPost, n.peerURL(id)+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	req.Header.Set(HeaderForwarded, n.self)
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	//lint:allow errflow read-only response body; a close error after a full read carries no data loss
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &proxyResponse{status: resp.StatusCode, header: resp.Header, body: data}, nil
+}
+
+// relay writes a peer response through to the client, then — for
+// successful grid responses on a designated replica — seeds the local
+// cache so this node can serve the key warm if the owner later saturates.
+func (n *Node) relay(w http.ResponseWriter, resp *proxyResponse, bench, space string, seed bool) {
+	for _, h := range []string{"Content-Type", "Retry-After", HeaderNode, HeaderStale, HeaderDraining} {
+		if v := resp.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.status)
+	_, _ = w.Write(resp.body) // best effort: the peer response is already final
+	if seed && resp.status == http.StatusOK {
+		n.seedReplica(bench, space, resp.body)
+	}
+}
+
+// seedReplica stores a proxied grid locally when this node is in the
+// key's designated replica set. Decoding happens after the client already
+// has its response, so replication never adds latency to the hot path.
+func (n *Node) seedReplica(bench, space string, body []byte) {
+	if !n.isReplica(n.gridKey(bench, space)) {
+		return
+	}
+	if _, ok := n.srv.Lab().PeekGrid(bench, space); ok {
+		return // already warm; skip the decode entirely
+	}
+	g, err := readGridJSON(body)
+	if err != nil {
+		return // not a grid body (error payload raced in); nothing to seed
+	}
+	if n.srv.Lab().SeedGrid(bench, space, g) {
+		n.met.replicaSeeds.Add(1)
+	}
+}
+
+// isReplica reports whether this node is a designated non-owner replica
+// for key.
+func (n *Node) isReplica(key string) bool {
+	for _, id := range n.ring.Replicas(key, n.cfg.Replicas)[1:] {
+		if id == n.self {
+			return true
+		}
+	}
+	return false
+}
+
+// serveStaleFallback answers from the warmest replica copy available —
+// this node's own cache first, then cached-only probes of the other
+// replicas in ring order — marked X-MCDVFS-Stale: maybe. Reports whether
+// a response was written.
+func (n *Node) serveStaleFallback(ctx context.Context, w http.ResponseWriter, key, bench, space string) bool {
+	if g, ok := n.srv.Lab().PeekGrid(bench, space); ok {
+		n.met.staleFallbacks.Add(1)
+		w.Header().Set(HeaderNode, n.self)
+		w.Header().Set(HeaderStale, "maybe")
+		writeJSON(w, http.StatusOK, g)
+		return true
+	}
+	for _, id := range n.ring.Replicas(key, n.ring.Len())[1:] {
+		if id == n.self {
+			continue
+		}
+		resp, err := n.forwardCachedOnly(ctx, id, bench, space)
+		if err != nil || resp.status != http.StatusOK {
+			continue
+		}
+		n.met.staleFallbacks.Add(1)
+		for _, h := range []string{"Content-Type", HeaderNode} {
+			if v := resp.header.Get(h); v != "" {
+				w.Header().Set(h, v)
+			}
+		}
+		w.Header().Set(HeaderStale, "maybe")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(resp.body) // best effort: the replica response is already final
+		return true
+	}
+	return false
+}
+
+// forwardCachedOnly asks a peer for its cached copy of a grid — never a
+// collection.
+func (n *Node) forwardCachedOnly(ctx context.Context, id, bench, space string) (*proxyResponse, error) {
+	body, err := json.Marshal(serve.GridRequest{Benchmark: bench, Space: space})
+	if err != nil {
+		return nil, err
+	}
+	fctx, cancel := context.WithTimeout(ctx, n.cfg.ProxyTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodPost, n.peerURL(id)+"/v1/grid", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderForwarded, n.self)
+	req.Header.Set(HeaderCachedOnly, "1")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	//lint:allow errflow read-only response body; a close error after a full read carries no data loss
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &proxyResponse{status: resp.StatusCode, header: resp.Header, body: data}, nil
+}
+
+// awaitOwnerFlight implements the proxy side of peer-aware singleflight:
+// if the owner currently publishes key in its in-flight list, poll until
+// the flight ends (the result is then in the owner's cache) and report
+// true — the caller should re-ask the owner. Reports false when no flight
+// is visible, the owner is unreachable, or the caller's context ends.
+func (n *Node) awaitOwnerFlight(ctx context.Context, owner, key string) bool {
+	listed, err := n.ownerInflight(ctx, owner, key)
+	if err != nil || !listed {
+		return false
+	}
+	n.met.inflightWaits.Add(1)
+	t := time.NewTicker(n.cfg.InflightPoll)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-t.C:
+		}
+		listed, err = n.ownerInflight(ctx, owner, key)
+		if err != nil {
+			return false
+		}
+		if !listed {
+			return true
+		}
+	}
+}
+
+// InflightResponse is the JSON body of GET /v1/cluster/inflight.
+type InflightResponse struct {
+	Node string   `json:"node"`
+	Keys []string `json:"keys"`
+}
+
+// ownerInflight reads a peer's published in-flight keys and reports
+// whether key is among them.
+func (n *Node) ownerInflight(ctx context.Context, owner, key string) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.peerURL(owner)+"/v1/cluster/inflight", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	//lint:allow errflow read-only response body; decode errors surface through the Decoder below
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("cluster: %s inflight returned %d", owner, resp.StatusCode)
+	}
+	var out InflightResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return false, err
+	}
+	for _, k := range out.Keys {
+		if k == key {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// handleInflight publishes this node's in-flight keys.
+func (n *Node) handleInflight(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, InflightResponse{Node: n.self, Keys: n.inflight.snapshot()})
+}
+
+// RingResponse is the JSON body of GET /v1/cluster/ring.
+type RingResponse struct {
+	Self     string   `json:"self"`
+	Nodes    []string `json:"nodes"`
+	Replicas int      `json:"replicas"`
+	VNodes   int      `json:"vnodes"`
+	Draining bool     `json:"draining"`
+}
+
+// handleRing describes this node's view of the ring.
+func (n *Node) handleRing(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, RingResponse{
+		Self:     n.self,
+		Nodes:    n.ring.Nodes(),
+		Replicas: n.cfg.Replicas,
+		VNodes:   n.ring.vnodes,
+		Draining: n.draining.Load(),
+	})
+}
+
+// handleMetrics serves the embedded daemon's exposition with the cluster
+// counters appended — one scrape shows both layers.
+func (n *Node) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	n.srv.Handler().ServeHTTP(w, r)
+	n.met.write(w, n.inflight.len(), n.ring.Len())
+}
+
+// BeginDrain starts phase one of the drain: newly proxied ring writes are
+// refused with the draining hint (so peers fail over) and the embedded
+// daemon's health check flips to 503. In-flight work, including proxied
+// collections already past the router, continues.
+func (n *Node) BeginDrain() {
+	if n.draining.CompareAndSwap(false, true) {
+		n.srv.BeginDrain()
+	}
+}
+
+// Draining reports whether the drain has begun.
+func (n *Node) Draining() bool { return n.draining.Load() }
+
+// Run serves the node on addr until ctx is cancelled, then drains in two
+// phases: first the node deregisters from the ring's write path — it
+// keeps answering for DrainHint, refusing newly proxied writes with the
+// draining hint so routers fail over — then the listener closes and
+// in-flight requests get up to drain to finish. A nil error is a clean
+// drain.
+func (n *Node) Run(ctx context.Context, addr string, drain time.Duration) error {
+	srv := &http.Server{Addr: addr, Handler: n.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("cluster: %w", err)
+	case <-ctx.Done():
+	}
+	n.BeginDrain()
+	// Phase one: stay reachable while peers observe the hint. The timer
+	// must survive the cancellation that triggered the drain.
+	hint := time.NewTimer(n.cfg.DrainHint)
+	defer hint.Stop()
+	select {
+	case <-hint.C:
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return fmt.Errorf("cluster: %w", err)
+		}
+	}
+	// Phase two: the embedded daemon's connection drain.
+	shutCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), drain)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
+}

@@ -103,6 +103,46 @@ func (c *gridCache) do(ctx context.Context, key string, collect func() (*trace.G
 	return g, false, err
 }
 
+// peek returns key's completed grid, if any, without joining or starting
+// a flight. An in-flight collection reads as absent: peek never blocks,
+// which is what lets a cluster replica answer "do you have a warm copy"
+// without being dragged into a collection.
+func (c *gridCache) peek(key string) (*trace.Grid, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	sh.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+		if e.err != nil {
+			return nil, false
+		}
+		return e.g, true
+	default:
+		return nil, false
+	}
+}
+
+// put installs an externally obtained completed grid under key if no
+// entry — completed or in flight — exists. It reports whether the grid
+// was stored; losing to an existing entry is not an error, the resident
+// entry simply wins (matching the cache's exactly-once result identity).
+func (c *gridCache) put(key string, g *trace.Grid) bool {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.entries[key]; ok {
+		return false
+	}
+	e := &gridEntry{done: make(chan struct{}), g: g}
+	close(e.done)
+	sh.entries[key] = e
+	return true
+}
+
 // forget drops key's entry. An in-flight collection is unaffected — its
 // waiters hold the entry pointer and still receive the result — but no new
 // request will find it, so the next lookup recollects. It reports whether

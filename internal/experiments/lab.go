@@ -32,9 +32,10 @@ type Lab struct {
 	workers  int    // Collect worker-pool size; 0 means GOMAXPROCS
 	cacheDir string // persistent grid cache directory; "" disables
 
-	observer func(GridEvent)       // grid-cache outcome hook; nil disables
-	gate     CollectGate           // admission control around collections; nil admits all
-	progress func(done, total int) // per-column collection progress; nil disables
+	observer func(GridEvent)                  // grid-cache outcome hook; nil disables
+	gate     CollectGate                      // admission control around collections; nil admits all
+	progress func(done, total int)            // per-column collection progress; nil disables
+	span     func(bench, space string) func() // brackets every owned grid flight; nil disables
 
 	coarseGrids *gridCache
 	fineGrids   *gridCache
@@ -109,6 +110,18 @@ func WithCollectProgress(fn func(done, total int)) Option {
 	return func(l *Lab) { l.progress = fn }
 }
 
+// WithCollectSpan registers fn to bracket every grid-cache flight this
+// lab owns: fn is called on the flight-owning goroutine when the flight
+// starts (before the persistent-cache probe, the admission gate, and the
+// collection itself) and the returned done func when the flight finishes,
+// success or failure. Coalesced joiners never trigger fn — exactly one
+// span per flight. The cluster router uses it to publish in-flight keys
+// to peers, so a collection running anywhere in the cluster is
+// discoverable while it runs.
+func WithCollectSpan(fn func(bench, space string) (done func())) Option {
+	return func(l *Lab) { l.span = fn }
+}
+
 // NewLab builds a lab over the default calibrated platform.
 func NewLab(opts ...Option) (*Lab, error) {
 	return NewLabWithConfig(sim.DefaultConfig(), opts...)
@@ -181,6 +194,10 @@ func (l *Lab) gridFor(ctx context.Context, cache *gridCache, bench string, space
 		}
 	}
 	g, joined, err := cache.do(ctx, bench, func() (*trace.Grid, error) {
+		if l.span != nil {
+			done := l.span(bench, spaceName)
+			defer done()
+		}
 		var path string
 		if l.cacheDir != "" {
 			disk := diskCache{dir: l.cacheDir}
@@ -211,6 +228,68 @@ func (l *Lab) gridFor(ctx context.Context, cache *gridCache, bench string, space
 		emit(GridHit)
 	}
 	return g, err
+}
+
+// spaceFor resolves a published space name. Only "coarse" and "fine"
+// exist; the empty string is not accepted here — callers normalize first.
+func (l *Lab) spaceFor(spaceName string) (*gridCache, *freq.Space, error) {
+	switch spaceName {
+	case "coarse":
+		return l.coarseGrids, l.coarse, nil
+	case "fine":
+		return l.fineGrids, l.fine, nil
+	default:
+		return nil, nil, fmt.Errorf("experiments: unknown space %q (use coarse or fine)", spaceName)
+	}
+}
+
+// GridKeyHash returns the platform fingerprint a stored or replicated
+// grid depends on: the full simulator configuration plus the exact
+// setting list of the named space — the same hash that keys the
+// persistent disk cache. Two labs (or two cluster nodes) agree on a grid
+// key iff this hash matches, so a recalibrated platform can never be
+// routed onto a peer's stale shard.
+func (l *Lab) GridKeyHash(spaceName string) (string, error) {
+	_, space, err := l.spaceFor(spaceName)
+	if err != nil {
+		return "", err
+	}
+	return gridKeyHash(l.cfg, space), nil
+}
+
+// PeekGrid returns the completed cached grid for a benchmark in the named
+// space without collecting, joining an in-flight collection, or touching
+// the persistent cache. It is the cluster's warm-replica probe: a node
+// answering a cached-only request must never be dragged into a
+// collection.
+func (l *Lab) PeekGrid(bench, spaceName string) (*trace.Grid, bool) {
+	cache, _, err := l.spaceFor(spaceName)
+	if err != nil {
+		return nil, false
+	}
+	return cache.peek(bench)
+}
+
+// SeedGrid installs an externally obtained grid — typically replicated
+// from a cluster peer's response — into the in-memory cache, if no entry
+// for the benchmark exists. The grid is validated the same way a
+// persistent-cache load is (benchmark name and a bit-exact setting-list
+// match against the named space); a mismatched grid is rejected rather
+// than poisoning the cache. It reports whether the grid was stored.
+func (l *Lab) SeedGrid(bench, spaceName string, g *trace.Grid) bool { //lint:allow ctx validation-only walk over an already collected grid; no sweep is performed
+	cache, space, err := l.spaceFor(spaceName)
+	if err != nil || g == nil {
+		return false
+	}
+	if g.Benchmark != bench || g.NumSettings() != space.Len() {
+		return false
+	}
+	for k, st := range space.Settings() {
+		if g.Settings[k] != st { //lint:allow floateq a replicated grid is valid only under a bit-exact setting match
+			return false
+		}
+	}
+	return cache.put(bench, g)
 }
 
 // Forget drops every cached artifact for a benchmark — coarse and fine

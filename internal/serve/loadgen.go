@@ -45,10 +45,28 @@ func DefaultLoadMix() LoadMix {
 
 func (m LoadMix) total() int { return m.Grid + m.Optimal + m.Stability + m.Emin + m.Benchmarks }
 
+// Target-selection policies for multi-node runs.
+const (
+	// PolicyRoundRobin rotates each client through the target list
+	// (client i starts at target i, so clients spread immediately).
+	PolicyRoundRobin = "round-robin"
+	// PolicyRandom picks a uniformly random target per request from the
+	// client's seeded generator — the "users hit a random node" shape.
+	PolicyRandom = "random"
+)
+
 // LoadConfig parameterizes one load run.
 type LoadConfig struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Targets, when non-empty, is the multi-node target list: each request
+	// picks one node according to Policy, and the report's cache counters
+	// are cluster-wide sums of per-node /metrics deltas. BaseURL is
+	// ignored then.
+	Targets []string
+	// Policy selects the per-request target for multi-target runs:
+	// PolicyRoundRobin (default) or PolicyRandom.
+	Policy string
 	// Clients is the closed-loop concurrency. Default 8.
 	Clients int
 	// Requests, when positive, is the total request budget split across
@@ -69,6 +87,12 @@ type LoadConfig struct {
 	// Space and Budget parameterize grid/optimal requests.
 	Space  string
 	Budget float64
+	// RetryAfterMax caps how long a shed (429) response's Retry-After hint
+	// is honored before the client's next request; the actual backoff is
+	// jittered within the cap so a shed cohort does not re-arrive in
+	// lockstep. Default 2s; negative disables the backoff entirely
+	// (the pre-PR-8 hammer behavior).
+	RetryAfterMax time.Duration
 	// Client overrides the HTTP client (tests inject the in-process one).
 	Client *http.Client
 }
@@ -94,6 +118,15 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	}
 	if c.Budget <= 0 {
 		c.Budget = 1.3
+	}
+	if len(c.Targets) == 0 {
+		c.Targets = []string{c.BaseURL}
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyRoundRobin
+	}
+	if c.RetryAfterMax == 0 {
+		c.RetryAfterMax = 2 * time.Second
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{}
@@ -121,8 +154,9 @@ type LoadReport struct {
 	TransportErrors int
 	Endpoints       map[string]EndpointStats
 
-	// Deltas of the daemon's own counters across the run, scraped from
-	// /metrics; zero when scraping failed.
+	// Deltas of the daemons' own counters across the run, scraped from
+	// each target's /metrics and summed; zero when every scrape failed.
+	// Against a cluster these are cluster-wide totals.
 	GridRequests    int64
 	GridCollections int64
 	GridCacheHits   int64
@@ -133,6 +167,14 @@ type LoadReport struct {
 	// fraction of grid demands absorbed without collecting. -1 when no
 	// grid requests were observed.
 	CoalesceHitRate float64
+	// NodeGridCollections breaks GridCollections down per target, the
+	// sharding-balance view of a multi-target run. Only targets whose
+	// scrapes succeeded appear.
+	NodeGridCollections map[string]int64
+	// ScrapeWarnings records /metrics scrape failures, one entry per
+	// affected target. A dead /metrics endpoint must read as "counters
+	// unavailable", never as a 0% coalescing hit rate.
+	ScrapeWarnings []string
 }
 
 // sample is one completed request.
@@ -143,13 +185,20 @@ type sample struct {
 }
 
 // RunLoad drives the configured load until the request budget or duration
-// is exhausted, then aggregates latencies and scrapes counter deltas.
+// is exhausted, then aggregates latencies and scrapes counter deltas from
+// every target.
 func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	cfg = cfg.withDefaults()
+	switch cfg.Policy {
+	case PolicyRoundRobin, PolicyRandom:
+	default:
+		return nil, fmt.Errorf("serve: unknown target policy %q (use %s or %s)",
+			cfg.Policy, PolicyRoundRobin, PolicyRandom)
+	}
 	// The scrapes use the caller's context: the run context below expires
 	// with the duration, which must not kill the after-run scrape.
 	scrapeCtx := ctx
-	before, _ := scrapeMetrics(scrapeCtx, cfg)
+	before, warns := scrapeTargets(scrapeCtx, cfg)
 	if cfg.Requests == 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
@@ -175,13 +224,24 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	wg.Wait()
 
 	report := aggregate(results)
-	if after, err := scrapeMetrics(scrapeCtx, cfg); err == nil && before != nil {
-		report.GridRequests = after["mcdvfsd_grid_requests_total"] - before["mcdvfsd_grid_requests_total"]
-		report.GridCollections = after["mcdvfsd_grid_collections_total"] - before["mcdvfsd_grid_collections_total"]
-		report.GridCacheHits = after["mcdvfsd_grid_cache_hits_total"] - before["mcdvfsd_grid_cache_hits_total"]
-		report.GridDiskLoads = after["mcdvfsd_grid_disk_loads_total"] - before["mcdvfsd_grid_disk_loads_total"]
-		report.OptimalRequests = after["mcdvfsd_optimal_requests_total"] - before["mcdvfsd_optimal_requests_total"]
-		report.OptimalMemoHits = after["mcdvfsd_optimal_memo_hits_total"] - before["mcdvfsd_optimal_memo_hits_total"]
+	after, afterWarns := scrapeTargets(scrapeCtx, cfg)
+	report.ScrapeWarnings = append(warns, afterWarns...)
+	report.NodeGridCollections = make(map[string]int64)
+	for _, target := range cfg.Targets {
+		b, okB := before[target]
+		a, okA := after[target]
+		if !okB || !okA {
+			continue // already warned; counters for this node are unknown
+		}
+		delta := func(name string) int64 { return a[name] - b[name] }
+		report.GridRequests += delta("mcdvfsd_grid_requests_total")
+		report.GridCacheHits += delta("mcdvfsd_grid_cache_hits_total")
+		report.GridDiskLoads += delta("mcdvfsd_grid_disk_loads_total")
+		report.OptimalRequests += delta("mcdvfsd_optimal_requests_total")
+		report.OptimalMemoHits += delta("mcdvfsd_optimal_memo_hits_total")
+		collections := delta("mcdvfsd_grid_collections_total")
+		report.GridCollections += collections
+		report.NodeGridCollections[target] = collections
 	}
 	if report.GridRequests > 0 {
 		report.CoalesceHitRate = float64(report.GridCacheHits) / float64(report.GridRequests)
@@ -191,9 +251,30 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	return report, nil
 }
 
-// runClient is one closed loop: pick, send, record, repeat.
+// scrapeTargets scrapes every target's /metrics, returning per-target
+// counters plus one warning per failed scrape — a dead endpoint must be
+// reported, not silently folded into zero deltas.
+func scrapeTargets(ctx context.Context, cfg LoadConfig) (map[string]map[string]int64, []string) {
+	out := make(map[string]map[string]int64, len(cfg.Targets))
+	var warns []string
+	for _, target := range cfg.Targets {
+		m, err := scrapeMetrics(ctx, cfg.Client, target)
+		if err != nil {
+			warns = append(warns, fmt.Sprintf("metrics scrape of %s failed: %v (cache counters for this node unavailable)", target, err))
+			continue
+		}
+		out[target] = m
+	}
+	return out, warns
+}
+
+// runClient is one closed loop: pick, send, record, repeat. The request
+// sequence draws from rng; 429 backoff jitter draws from a separate
+// generator so honoring Retry-After never perturbs which requests a
+// (seed, clients, requests) triple replays.
 func runClient(ctx context.Context, cfg LoadConfig, id, budget int) []sample {
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+	jitter := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed1e55 + int64(id)))
 	var zipf *rand.Zipf
 	if len(cfg.Benchmarks) > 1 {
 		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Benchmarks)-1))
@@ -204,6 +285,15 @@ func runClient(ctx context.Context, cfg LoadConfig, id, budget int) []sample {
 		}
 		return cfg.Benchmarks[zipf.Uint64()]
 	}
+	pickTarget := func(n int) string {
+		if len(cfg.Targets) == 1 {
+			return cfg.Targets[0]
+		}
+		if cfg.Policy == PolicyRandom {
+			return cfg.Targets[rng.Intn(len(cfg.Targets))]
+		}
+		return cfg.Targets[(id+n)%len(cfg.Targets)]
+	}
 
 	var samples []sample
 	for n := 0; budget == 0 || n < budget; n++ {
@@ -212,7 +302,7 @@ func runClient(ctx context.Context, cfg LoadConfig, id, budget int) []sample {
 		}
 		endpoint, method, path, body := nextRequest(cfg, rng, pickBench)
 		start := time.Now()
-		status := issue(ctx, cfg, method, path, body)
+		status, retryAfter := issue(ctx, cfg, pickTarget(n), method, path, body)
 		elapsed := time.Since(start)
 		if status == 0 && ctx.Err() != nil {
 			break // shutdown race, not a transport failure
@@ -222,8 +312,35 @@ func runClient(ctx context.Context, cfg LoadConfig, id, budget int) []sample {
 			status:   status,
 			ms:       float64(elapsed.Nanoseconds()) / 1e6,
 		})
+		if status == http.StatusTooManyRequests {
+			backoff(ctx, jitter, retryAfter, cfg.RetryAfterMax)
+		}
 	}
 	return samples
+}
+
+// backoff honors a 429's Retry-After hint: sleep at least half the hinted
+// delay with the rest jittered, capped at max, so a shed cohort neither
+// hammers the server immediately nor re-arrives in lockstep. A zero hint
+// still backs off briefly; a negative max disables the wait.
+func backoff(ctx context.Context, jitter *rand.Rand, hint, max time.Duration) {
+	if max < 0 {
+		return
+	}
+	d := hint
+	if d <= 0 {
+		d = 100 * time.Millisecond
+	}
+	if d > max {
+		d = max
+	}
+	d = d/2 + time.Duration(jitter.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // nextRequest draws one request from the mix.
@@ -251,27 +368,34 @@ func nextRequest(cfg LoadConfig, rng *rand.Rand, pickBench func() string) (endpo
 	}
 }
 
-// issue sends one request and returns the status code, 0 on transport
-// failure. Response bodies are drained so connections are reused.
-func issue(ctx context.Context, cfg LoadConfig, method, path string, body []byte) int {
+// issue sends one request to target and returns the status code (0 on
+// transport failure) plus any Retry-After hint on a shed response.
+// Response bodies are drained so connections are reused.
+func issue(ctx context.Context, cfg LoadConfig, target, method, path string, body []byte) (int, time.Duration) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, cfg.BaseURL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, target+path, rd)
 	if err != nil {
-		return 0
+		return 0, 0
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := cfg.Client.Do(req)
 	if err != nil {
-		return 0
+		return 0, 0
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	_ = resp.Body.Close() // best effort: the status code was already read
-	return resp.StatusCode
+	var retryAfter time.Duration
+	if resp.StatusCode == http.StatusTooManyRequests {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, retryAfter
 }
 
 // aggregate merges per-client samples into the report.
@@ -326,13 +450,13 @@ func quantileOrZero(xs []float64, q float64) float64 {
 	return v
 }
 
-// scrapeMetrics fetches and parses the daemon's /metrics counters.
-func scrapeMetrics(ctx context.Context, cfg LoadConfig) (map[string]int64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+"/metrics", nil)
+// scrapeMetrics fetches and parses one daemon's /metrics counters.
+func scrapeMetrics(ctx context.Context, client *http.Client, baseURL string) (map[string]int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := cfg.Client.Do(req)
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -341,8 +465,16 @@ func scrapeMetrics(ctx context.Context, cfg LoadConfig) (map[string]int64, error
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("serve: /metrics returned %d", resp.StatusCode)
 	}
+	return ParseMetrics(resp.Body)
+}
+
+// ParseMetrics reads a Prometheus text exposition and returns the
+// integer-valued series by name. Comment, blank, and non-integer lines
+// are skipped. The cluster metrics aggregator and the load harness share
+// this parser, so both read exactly what monitoring would.
+func ParseMetrics(r io.Reader) (map[string]int64, error) {
 	out := make(map[string]int64)
-	sc := bufio.NewScanner(resp.Body)
+	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -384,6 +516,19 @@ func (r *LoadReport) String() string {
 	if r.OptimalRequests > 0 {
 		fmt.Fprintf(&b, "optimal memo       %d requests, %d memo hits (%.1f%%)\n",
 			r.OptimalRequests, r.OptimalMemoHits, 100*float64(r.OptimalMemoHits)/float64(r.OptimalRequests))
+	}
+	if len(r.NodeGridCollections) > 1 {
+		nodes := make([]string, 0, len(r.NodeGridCollections))
+		for n := range r.NodeGridCollections {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		for _, n := range nodes {
+			fmt.Fprintf(&b, "node %-30s %d collections\n", n, r.NodeGridCollections[n])
+		}
+	}
+	for _, w := range r.ScrapeWarnings {
+		fmt.Fprintf(&b, "warning: %s\n", w)
 	}
 	return b.String()
 }

@@ -51,6 +51,12 @@ type Config struct {
 	RequestTimeout time.Duration
 	// RetryAfter is the hint attached to 429 responses. Default 1s.
 	RetryAfter time.Duration
+	// CollectSpan, when set, brackets every grid-cache flight the daemon's
+	// Lab owns (experiments.WithCollectSpan): called when a flight starts,
+	// the returned func when it finishes. The cluster router publishes
+	// in-flight keys through it so peers can wait on this node's
+	// collections instead of re-collecting.
+	CollectSpan func(bench, space string) (done func())
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +129,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.GridCacheDir != "" {
 		opts = append(opts, experiments.WithGridCacheDir(cfg.GridCacheDir))
 	}
+	if cfg.CollectSpan != nil {
+		opts = append(opts, experiments.WithCollectSpan(cfg.CollectSpan))
+	}
 	s.lab, err = experiments.NewLabWithConfig(simCfg, opts...)
 	if err != nil {
 		return nil, err
@@ -188,4 +197,26 @@ func (s *Server) beginDrain() {
 	if s.draining.CompareAndSwap(false, true) {
 		s.met.draining.Store(1)
 	}
+}
+
+// BeginDrain is the exported drain trigger for layers that own the
+// server's lifecycle themselves (the cluster node flips the embedded
+// server into draining as phase one of its two-phase drain, before its
+// listener closes).
+func (s *Server) BeginDrain() { s.beginDrain() }
+
+// Lab exposes the daemon's Lab to layered subsystems: the cluster router
+// peeks for warm replica copies, seeds grids replicated from peers, and
+// shares the Lab's grid-key hash so every node in a cluster routes by an
+// identical key.
+func (s *Server) Lab() *experiments.Lab { return s.lab }
+
+// AcquireCollectSlot takes one slot of the collection admission pool,
+// exactly as a collecting request would: it blocks in the bounded queue
+// when the pool is full, sheds with ErrSaturated when the queue is full
+// too, and returns a release func on admission. Harnesses and saturation
+// tests use it to occupy collection capacity deterministically — forced
+// 429s without racing a real collection.
+func (s *Server) AcquireCollectSlot(ctx context.Context) (func(), error) {
+	return s.pool.acquire(ctx)
 }
