@@ -11,8 +11,15 @@
 // they statically call, are proven allocation-free — interface boxing,
 // escaping composite literals, unproven appends, map/chan/string traffic,
 // closures, defers in loops) and owned (values marked //vet:owned must not
-// leave their creating goroutine without //vet:transfer). It is the
-// `make lint` tier of `make verify`.
+// leave their creating goroutine without //vet:transfer). The runtime
+// layers get three concurrency checks on a must-held lock dataflow:
+// guardedby (each struct field's mutex guard inferred from majority
+// access evidence; minority unguarded accesses and writes under RLock
+// flagged), atomicmix (fields and package variables accessed both via
+// sync/atomic and plainly), and spawnescape (every go statement and
+// goroutine-spawning callee audited; captures classified confined,
+// synchronized, read-only, or racy-unknown — only the last is reported).
+// It is the `make lint` tier of `make verify`.
 //
 // Usage:
 //
@@ -21,8 +28,12 @@
 // Patterns default to ./... and follow the go tool's directory forms.
 // -waivers inventories every //lint:allow directive in scope (file:line,
 // check, reason) and marks the stale ones — waivers whose check no longer
-// fires on the waived line. Exit status: 0 clean, 1 violations found (or
-// stale waivers under -waivers), 2 the run itself failed.
+// fires on the waived line. -write-baseline records the current findings
+// as a baseline file; -baseline reads one and fails only on findings it
+// does not cover (matched line-insensitively on file/check/message, count-
+// aware), which is how CI gates pull requests on introduced diagnostics.
+// Exit status: 0 clean, 1 violations found (or stale waivers under
+// -waivers), 2 the run itself failed.
 package main
 
 import (
@@ -47,6 +58,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	list := fs.Bool("list", false, "list available checks and exit")
 	waivers := fs.Bool("waivers", false, "list every //lint:allow waiver in scope and flag stale ones")
 	workers := fs.Int("workers", 0, "package load/check worker-pool size (0 = all cores)")
+	baselinePath := fs.String("baseline", "", "read a baseline file and report only findings it does not cover")
+	writeBaseline := fs.String("write-baseline", "", "record the current findings as a baseline file and exit 0")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: mcdvfsvet [flags] [patterns ...]\n\nThe mcdvfs domain-invariant analyzer suite. Patterns default to ./...\n\n")
 		fs.PrintDefaults()
@@ -95,6 +108,42 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	if cwd, err := os.Getwd(); err == nil {
 		analysis.RelTo(diags, cwd)
+	}
+
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "mcdvfsvet: %v\n", err)
+			return 2
+		}
+		werr := analysis.WriteBaseline(f, diags)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "mcdvfsvet: %v\n", werr)
+			return 2
+		}
+		fmt.Fprintf(stderr, "mcdvfsvet: baseline of %d finding(s) written to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "mcdvfsvet: %v\n", err)
+			return 2
+		}
+		base, err := analysis.ReadBaseline(f)
+		_ = f.Close() // read-only; the decode error is the signal
+		if err != nil {
+			fmt.Fprintf(stderr, "mcdvfsvet: %v\n", err)
+			return 2
+		}
+		absorbed := len(diags)
+		diags = base.Filter(diags)
+		if absorbed -= len(diags); absorbed > 0 {
+			fmt.Fprintf(stderr, "mcdvfsvet: %d baseline finding(s) absorbed\n", absorbed)
+		}
 	}
 
 	if *jsonOut {

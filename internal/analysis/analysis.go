@@ -162,6 +162,9 @@ func Suite() []*Analyzer {
 		NilFlowAnalyzer(),
 		HotPathAnalyzer(),
 		OwnedAnalyzer(),
+		GuardedByAnalyzer(),
+		AtomicMixAnalyzer(),
+		SpawnEscapeAnalyzer(),
 	}
 }
 

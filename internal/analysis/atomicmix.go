@@ -1,0 +1,305 @@
+package analysis
+
+// atomicmix flags variables accessed both through sync/atomic and through
+// plain loads/stores — the torn-read bug class one refactor away whenever a
+// counter is "mostly atomic": a plain `m.count++` next to
+// `atomic.AddInt64(&m.count, 1)` is a data race the race detector only
+// catches if a test happens to interleave them, and a plain read of an
+// atomic.Int64 value (copying the struct) bypasses the Load barrier
+// entirely.
+//
+// Two access grammars are recognized as atomic:
+//
+//   - function form: sync/atomic package calls taking the variable's
+//     address (atomic.AddInt64(&m.count, 1), atomic.LoadUint32(&flag), ...)
+//   - method form: method calls on a variable whose type is a sync/atomic
+//     wrapper (atomic.Int64, atomic.Bool, atomic.Pointer[T], ...), and
+//     passing such a variable's address (the idiomatic way to share it)
+//
+// Everything else that reads or writes the variable is a plain access. For
+// wrapper-typed variables a plain access is a copy: assigning or passing
+// the struct by value, which go vet's copylocks also dislikes — here it is
+// reported as a torn read because the copy bypasses Load. Construction-time
+// accesses (base value declared in the enclosing body), package `init`
+// functions, and package-level initializer expressions are excluded: a
+// variable is single-threaded until published.
+//
+// Scope: fields of structs in the runtime packages and their package-level
+// variables (internal/serve, cluster, trace, cache).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMixAnalyzer returns the atomic/plain mixed-access check.
+func AtomicMixAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "atomicmix",
+		Doc:       "flag fields and package variables accessed both through sync/atomic and through plain loads/stores",
+		Applies:   concurrencyApplies,
+		RunModule: runAtomicMix,
+	}
+}
+
+// accessKind distinguishes the evidence classes per variable.
+type atomicAccess struct {
+	pos    token.Pos
+	atomic bool
+}
+
+func runAtomicMix(mp *ModulePass) {
+	// Per tracked variable (struct field or package-level var of an
+	// in-scope package): the classified access list.
+	accesses := map[*types.Var][]atomicAccess{}
+	scoped := map[*types.Package]bool{}
+	for _, pkg := range mp.Pkgs {
+		scoped[pkg.Types] = true
+	}
+	tracked := func(v *types.Var) bool {
+		if v == nil || v.Pkg() == nil || !scoped[v.Pkg()] {
+			return false
+		}
+		if v.IsField() {
+			return true
+		}
+		// Package-level variable: declared directly in the package scope.
+		return v.Parent() == v.Pkg().Scope()
+	}
+
+	for _, pkg := range mp.Pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Syntax {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fd.Name.Name == "init" && fd.Recv == nil {
+					continue // package initialization is single-threaded
+				}
+				scanAtomicAccesses(info, fd.Body, tracked, accesses)
+			}
+		}
+	}
+
+	// Report every plain access to a variable that also has atomic
+	// accesses, citing the first atomic site as the precedent.
+	vars := make([]*types.Var, 0, len(accesses))
+	for v := range accesses {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool {
+		a, b := mp.Prog.Fset.Position(vars[i].Pos()), mp.Prog.Fset.Position(vars[j].Pos())
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	for _, v := range vars {
+		var atomicSites, plainSites []atomicAccess
+		for _, a := range accesses[v] {
+			if a.atomic {
+				atomicSites = append(atomicSites, a)
+			} else {
+				plainSites = append(plainSites, a)
+			}
+		}
+		if len(atomicSites) == 0 || len(plainSites) == 0 {
+			continue
+		}
+		first := atomicSites[0]
+		for _, a := range atomicSites[1:] {
+			pa, pb := mp.Prog.Fset.Position(a.pos), mp.Prog.Fset.Position(first.pos)
+			if pa.Filename < pb.Filename || (pa.Filename == pb.Filename && pa.Offset < pb.Offset) {
+				first = a
+			}
+		}
+		kind := "package variable"
+		name := v.Name()
+		if v.IsField() {
+			kind = "field"
+			if owner := fieldOwnerName(v); owner != "" {
+				name = owner + "." + v.Name()
+			}
+		}
+		for _, p := range plainSites {
+			mp.Reportf(p.pos,
+				"%s %s is accessed atomically (e.g. %s) but plainly here: mixed atomic/plain access tears — use the atomic API on every access",
+				kind, name, fsetSite(mp.Prog.Fset, first.pos))
+		}
+	}
+}
+
+// scanAtomicAccesses classifies every access to a tracked variable in one
+// function body. Nested literals are walked too (same single-threaded-
+// until-published exclusions apply via the enclosing body).
+func scanAtomicAccesses(info *types.Info, body *ast.BlockStmt, tracked func(*types.Var) bool, accesses map[*types.Var][]atomicAccess) {
+	// consumed marks expression nodes already claimed by an atomic grammar
+	// (the &x argument of atomic.AddInt64, the receiver of a wrapper method
+	// call), so the generic walk below does not double-count them as plain.
+	consumed := map[ast.Node]bool{}
+	record := func(e ast.Expr, isAtomic bool) {
+		v := trackedVarOf(info, e, tracked)
+		if v == nil {
+			return
+		}
+		if baseOfAccessIsLocal(info, e, body) {
+			return
+		}
+		accesses[v] = append(accesses[v], atomicAccess{pos: e.Pos(), atomic: isAtomic})
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Function form: atomic.AddInt64(&v, 1) and friends.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if pn, ok := pkgNameOf(info, id); ok && pn.Imported().Path() == "sync/atomic" {
+					for _, arg := range call.Args {
+						if un, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && un.Op == token.AND {
+							markConsumed(un, consumed)
+							record(un.X, true)
+						}
+					}
+					return true
+				}
+			}
+			// Method form: v.Load() / v.Store(x) / v.Add(1) on a sync/atomic
+			// wrapper type.
+			if recvIsAtomicWrapper(info, sel.X) {
+				if s, ok := info.Selections[sel]; ok {
+					if _, isFunc := s.Obj().(*types.Func); isFunc {
+						markConsumed(sel.X, consumed)
+						record(sel.X, true)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Address-of a wrapper is sharing, not tearing: &m.count handed to a
+	// helper still goes through the atomic API at the use site.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if un, ok := n.(*ast.UnaryExpr); ok && un.Op == token.AND {
+			if recvIsAtomicWrapper(info, un.X) {
+				markConsumed(un, consumed)
+			}
+		}
+		return true
+	})
+
+	// Generic walk: every remaining use of a tracked variable is plain.
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if n == nil || consumed[n] {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.IsField() && tracked(v) {
+				record(e, false)
+			}
+			// Do not descend into Sel; the base may itself be tracked.
+			ast.Inspect(e.X, walk)
+			return false
+		case *ast.Ident:
+			if v, ok := info.Uses[e].(*types.Var); ok && !v.IsField() && tracked(v) {
+				record(e, false)
+			}
+			return false
+		case *ast.KeyValueExpr:
+			// Struct-literal keys are field names, not accesses.
+			if _, ok := e.Key.(*ast.Ident); ok {
+				ast.Inspect(e.Value, walk)
+				return false
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+func markConsumed(n ast.Node, consumed map[ast.Node]bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m != nil {
+			consumed[m] = true
+		}
+		return true
+	})
+}
+
+// trackedVarOf resolves an access expression (field selector or identifier)
+// to its tracked variable, or nil.
+func trackedVarOf(info *types.Info, e ast.Expr, tracked func(*types.Var) bool) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.IsField() && tracked(v) {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && !v.IsField() && tracked(v) {
+			return v
+		}
+	}
+	return nil
+}
+
+// baseOfAccessIsLocal extends baseIsLocal to bare identifiers (a local
+// shadowing never reaches here because tracked() filtered to fields and
+// package vars; for a field selector the constructor exclusion applies).
+func baseOfAccessIsLocal(info *types.Info, e ast.Expr, body *ast.BlockStmt) bool {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		return baseIsLocal(info, sel, body)
+	}
+	return false
+}
+
+// recvIsAtomicWrapper reports whether e's type (behind a pointer) is a
+// named type from sync/atomic (Int64, Bool, Pointer[T], Value, ...).
+func recvIsAtomicWrapper(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// fieldOwnerName finds the struct type name a field belongs to, best-effort
+// (empty when the owner is unnamed).
+func fieldOwnerName(v *types.Var) string {
+	if v.Pkg() == nil {
+		return ""
+	}
+	scope := v.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return tn.Name()
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,108 @@
+package analysis
+
+// Diagnostic baselines: record the current finding set so a later run can
+// fail only on NEW findings. The CI lint job uses this to gate pull
+// requests on the diagnostics they introduce, without a hand-rolled
+// text diff of two runs.
+//
+// Matching is deliberately line-insensitive: a baseline entry is the
+// multiset key (file, check, message) with a count. Inserting a line above
+// an old finding moves it without changing what it says, and should not
+// resurface it; adding a second identical finding to the same file is new
+// and should fail, which the count preserves. Messages embed enough
+// position-derived detail (witness sites render as base-file:line) that
+// collisions across distinct findings stay rare, and a collision only ever
+// errs toward suppression of a same-file same-message twin.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// baselineKey is the line-insensitive identity of a finding.
+type baselineKey struct {
+	File    string `json:"file"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// baselineEntry is one serialized multiset element.
+type baselineEntry struct {
+	baselineKey
+	Count int `json:"count"`
+}
+
+// Baseline is a recorded finding multiset.
+type Baseline struct {
+	counts map[baselineKey]int
+}
+
+// NewBaseline builds the multiset for the given diagnostics.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	b := &Baseline{counts: map[baselineKey]int{}}
+	for _, d := range diags {
+		b.counts[baselineKey{File: d.File, Check: d.Check, Message: d.Message}]++
+	}
+	return b
+}
+
+// WriteBaseline serializes the diagnostics as a baseline file: a sorted
+// JSON array, so the file is stable across runs and diffs cleanly.
+func WriteBaseline(w io.Writer, diags []Diagnostic) error {
+	b := NewBaseline(diags)
+	entries := make([]baselineEntry, 0, len(b.counts))
+	for k, n := range b.counts {
+		entries = append(entries, baselineEntry{baselineKey: k, Count: n})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, c := entries[i], entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		return a.Message < c.Message
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(entries)
+}
+
+// ReadBaseline parses a baseline file.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var entries []baselineEntry
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	b := &Baseline{counts: map[baselineKey]int{}}
+	for _, e := range entries {
+		if e.Count <= 0 {
+			e.Count = 1
+		}
+		b.counts[e.baselineKey] += e.Count
+	}
+	return b, nil
+}
+
+// Filter returns the diagnostics not covered by the baseline, in input
+// order. Each baseline entry absorbs at most Count matching findings, so a
+// newly duplicated finding still surfaces.
+func (b *Baseline) Filter(diags []Diagnostic) []Diagnostic {
+	remaining := make(map[baselineKey]int, len(b.counts))
+	for k, n := range b.counts {
+		remaining[k] = n
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := baselineKey{File: d.File, Check: d.Check, Message: d.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

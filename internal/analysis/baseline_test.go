@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func baselineDiag(file, check, msg string, line int) Diagnostic {
+	return Diagnostic{File: file, Line: line, Col: 1, Check: check, Message: msg}
+}
+
+// TestBaselineRoundTrip pins the contract: old findings are absorbed even
+// when they move lines, new findings and duplicated findings surface.
+func TestBaselineRoundTrip(t *testing.T) {
+	old := []Diagnostic{
+		baselineDiag("a.go", "guardedby", "field T.n unguarded", 10),
+		baselineDiag("a.go", "atomicmix", "field T.c torn", 20),
+		baselineDiag("b.go", "spawnescape", "capture of x racy", 5),
+	}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, old); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := ReadBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+
+	head := []Diagnostic{
+		// Same finding, moved 7 lines: absorbed.
+		baselineDiag("a.go", "guardedby", "field T.n unguarded", 17),
+		// Same message, second occurrence in the same file: NEW.
+		baselineDiag("a.go", "guardedby", "field T.n unguarded", 40),
+		// Same message, different file: NEW.
+		baselineDiag("c.go", "atomicmix", "field T.c torn", 20),
+		// Unchanged: absorbed.
+		baselineDiag("b.go", "spawnescape", "capture of x racy", 5),
+		// Brand new: NEW.
+		baselineDiag("b.go", "goleak", "fire-and-forget", 9),
+	}
+	got := b.Filter(head)
+	if len(got) != 3 {
+		t.Fatalf("Filter kept %d findings, want 3: %v", len(got), got)
+	}
+	if got[0].Line != 40 || got[1].File != "c.go" || got[2].Check != "goleak" {
+		t.Errorf("Filter kept the wrong findings: %v", got)
+	}
+}
+
+// TestBaselineFileStable pins the serialized form: sorted, so consecutive
+// writes of the same findings are byte-identical.
+func TestBaselineFileStable(t *testing.T) {
+	diags := []Diagnostic{
+		baselineDiag("z.go", "units", "mhz vs hz", 3),
+		baselineDiag("a.go", "floateq", "exact compare", 8),
+		baselineDiag("a.go", "floateq", "exact compare", 9),
+	}
+	var b1, b2 bytes.Buffer
+	if err := WriteBaseline(&b1, diags); err != nil {
+		t.Fatal(err)
+	}
+	rev := []Diagnostic{diags[2], diags[1], diags[0]}
+	if err := WriteBaseline(&b2, rev); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Errorf("baseline serialization depends on input order:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	if !strings.Contains(b1.String(), `"count": 2`) {
+		t.Errorf("duplicate finding not count-collapsed:\n%s", b1.String())
+	}
+}
+
+// TestBaselineRejectsGarbage: a malformed file is an error, not an empty
+// baseline that would silently fail every finding as new.
+func TestBaselineRejectsGarbage(t *testing.T) {
+	if _, err := ReadBaseline(strings.NewReader("not json")); err == nil {
+		t.Fatal("ReadBaseline accepted garbage")
+	}
+}

@@ -23,7 +23,8 @@ var update = flag.Bool("update", false, "rewrite golden files with current outpu
 
 // fixtures lists every fixture package and the check it exercises.
 var fixtures = []string{"determfix", "unitfix", "floatfix", "ctxfix", "lockfix", "lintfix",
-	"goleakfix", "lockorderfix", "errflowfix", "rangefix", "nilflowfix", "hotpathfix", "ownedfix"}
+	"goleakfix", "lockorderfix", "errflowfix", "rangefix", "nilflowfix", "hotpathfix", "ownedfix",
+	"guardedfix", "atomicfix", "spawnfix"}
 
 // runFixture executes the whole suite, scope-free, over one fixture.
 func runFixture(t *testing.T, name string, disable map[string]bool) string {

@@ -1,0 +1,260 @@
+package flow
+
+// Lock-domination facts over the CFG: for every evaluated node of one
+// function body, which sync.Mutex / sync.RWMutex classes are provably held
+// — the substrate under the guardedby and spawnescape checks. "Provably"
+// means a forward must-analysis: a lock is held at a point only when every
+// CFG path from the entry to that point passes a Lock/RLock without a
+// matching Unlock/RUnlock in between. The meet is therefore intersection,
+// branches that lock on one arm only prove nothing at the join, and loops
+// iterate to the (decreasing, finite) fixpoint.
+//
+// Lock identity is the class convention the lockorder check established:
+// the *types.Var of the mutex variable — the field object for s.mu (shared
+// by every method of the type), the var object for a package or local
+// mutex. defer mu.Unlock() does not change the in-function state (it runs
+// at exit); nested function literals are opaque, scanned by their callers
+// as independent units with an empty entry state, because when a closure
+// runs — and what its goroutine holds — is unknown here.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockMode distinguishes exclusive from shared acquisition.
+type LockMode uint8
+
+const (
+	// LockWrite is a Lock() acquisition.
+	LockWrite LockMode = iota + 1
+	// LockRead is an RLock() acquisition.
+	LockRead
+)
+
+// HeldSet maps each provably held lock class to its weakest mode on any
+// path (a lock write-held on one path and read-held on another is only
+// read-held here).
+type HeldSet map[*types.Var]LockMode
+
+// Has reports whether v is held in any mode.
+func (h HeldSet) Has(v *types.Var) bool { _, ok := h[v]; return ok }
+
+// LockStates holds the per-node must-held facts of one function body.
+type LockStates struct {
+	held map[ast.Node]HeldSet
+}
+
+// HeldAt returns the held set in force when n begins evaluating, or nil
+// when n was not visited (a node inside a nested literal or defer body).
+// The returned map is shared; callers must not mutate it.
+func (ls *LockStates) HeldAt(n ast.Node) HeldSet { return ls.held[n] }
+
+// MutexOp matches a call to a sync.Mutex/sync.RWMutex lock method,
+// returning the receiver expression and the method name (Lock, Unlock,
+// RLock, RUnlock).
+func MutexOp(info *types.Info, call *ast.CallExpr) (ast.Expr, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return nil, "", false
+	}
+	f, ok := s.Obj().(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// LockClassOf resolves a lock receiver expression to its variable
+// identity: the field object for s.mu (shared by every method), the var
+// object for a local or package mutex. nil means untracked (an element of
+// a map, say). shards[i].mu unifies on the field by recursing through the
+// index.
+func LockClassOf(info *types.Info, x ast.Expr) *types.Var {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return v
+		}
+		if v, ok := info.Defs[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.IndexExpr:
+		return LockClassOf(info, x.X)
+	}
+	return nil
+}
+
+// LockStatesOf runs the must-held analysis over c. The entry state is
+// empty: callers that know more (a literal invoked in place) must account
+// for it themselves.
+func LockStatesOf(c *CFG, info *types.Info) *LockStates {
+	ls := &LockStates{held: map[ast.Node]HeldSet{}}
+
+	// Block-entry states. nil means "not yet computed" (⊤, the full set):
+	// the optimistic initialization that makes loop fixpoints converge from
+	// above. The entry block starts at ⊥ = empty.
+	in := make([]HeldSet, len(c.Blocks))
+	in[c.Entry.Index] = HeldSet{}
+
+	// lockOp classifies a node as a tracked mutex operation.
+	lockOp := func(m ast.Node) (*types.Var, string, bool) {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return nil, "", false
+		}
+		x, op, ok := MutexOp(info, call)
+		if !ok {
+			return nil, "", false
+		}
+		v := LockClassOf(info, x)
+		if v == nil {
+			return nil, "", false
+		}
+		return v, op, true
+	}
+	apply := func(h HeldSet, v *types.Var, op string) {
+		switch op {
+		case "Lock":
+			h[v] = LockWrite
+		case "RLock":
+			if h[v] != LockWrite {
+				h[v] = LockRead
+			}
+		case "Unlock", "RUnlock":
+			delete(h, v)
+		}
+	}
+
+	// transfer replays a block from state h, optionally recording per-node
+	// snapshots, and returns the out state. h is not mutated. Recorded
+	// snapshots are immutable: every mutex op replaces the working map with
+	// a fresh clone, so nodes recorded earlier keep the state they saw.
+	transfer := func(blk *Block, h HeldSet, record bool) HeldSet {
+		snap := cloneHeld(h)
+		for _, n := range blk.Nodes {
+			walkEval(n, func(m ast.Node) bool {
+				if record {
+					ls.held[m] = snap // state before m evaluates
+				}
+				if v, op, ok := lockOp(m); ok {
+					if record {
+						next := cloneHeld(snap)
+						apply(next, v, op)
+						snap = next
+					} else {
+						apply(snap, v, op)
+					}
+				}
+				return true
+			})
+		}
+		return snap
+	}
+
+	// Fixpoint: iterate blocks in index order until stable. States only
+	// shrink (meet is intersection against an optimistic ⊤), so this
+	// terminates.
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range c.Blocks {
+			if in[blk.Index] == nil {
+				// Entered only once a predecessor produces a state.
+				continue
+			}
+			out := transfer(blk, in[blk.Index], false)
+			for _, s := range blk.Succs {
+				if next := meetHeld(in[s.Index], out); !heldEqual(next, in[s.Index]) {
+					in[s.Index] = next
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Final recording pass with the converged entry states.
+	for _, blk := range c.Blocks {
+		if in[blk.Index] == nil {
+			continue
+		}
+		transfer(blk, in[blk.Index], true)
+	}
+	return ls
+}
+
+// walkEval walks the subtree evaluated at a CFG node slot in evaluation
+// (pre-)order, skipping regions that do not execute there: nested function
+// literals (their bodies are independent units) and deferred calls (they
+// run at function exit, so a defer mu.Unlock() leaves the in-function
+// state alone). Range headers evaluate only their operand.
+func walkEval(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(HeaderExpr(n), func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		switch d := m.(type) {
+		case *ast.FuncLit:
+			fn(d) // the literal value itself is evaluated here
+			return false
+		case *ast.DeferStmt:
+			fn(d)
+			return false
+		}
+		return fn(m)
+	})
+}
+
+func cloneHeld(h HeldSet) HeldSet {
+	out := make(HeldSet, len(h))
+	for v, m := range h {
+		out[v] = m
+	}
+	return out
+}
+
+// meetHeld intersects two states; nil (⊤) is the identity.
+func meetHeld(a, b HeldSet) HeldSet {
+	if a == nil {
+		return cloneHeld(b)
+	}
+	out := make(HeldSet, len(a))
+	for v, ma := range a {
+		if mb, ok := b[v]; ok {
+			// Weakest mode survives the meet.
+			if ma == LockRead || mb == LockRead {
+				out[v] = LockRead
+			} else {
+				out[v] = LockWrite
+			}
+		}
+	}
+	return out
+}
+
+func heldEqual(a, b HeldSet) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for v, m := range a {
+		if b[v] != m {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,746 @@
+package analysis
+
+// guardedby infers, per struct, which mutex guards which fields — from the
+// code's own majority behaviour — and flags the minority accesses that skip
+// the guard. The inference needs no annotations: if four of five accesses
+// to Node.peers happen with Node.mu provably held (a must-analysis over the
+// CFG: flow.LockStatesOf), mu is the guard, and the fifth access is the
+// finding. Accesses reached through module-static callees count too: a
+// method whose every in-module call site holds mu inherits mu as
+// caller-held, the same summary style the PR 4 flow checks use.
+//
+// The evidence model (DESIGN.md §7.4):
+//
+//   - Evidence comes only from the concurrency-bearing runtime packages
+//     (internal/serve, cluster, trace, cache) — the scope where a mutex on
+//     a struct means something.
+//   - A field is guardable unless its type is itself a synchronizer:
+//     sync.* and sync/atomic types and channels carry their own discipline
+//     (atomicmix owns the atomic side).
+//   - Accesses through a base value declared in the enclosing function body
+//     are construction-time and excluded (the owned check's philosophy: a
+//     value is single-threaded until published).
+//   - Accesses inside nested function literals are analyzed as independent
+//     units with an empty entry lock state: when a closure runs, the
+//     launcher's locks are not (provably) held.
+//   - The guard is inferred when at least two accesses hold one mutex of
+//     the owning struct and they outnumber the accesses that do not.
+//
+// Two diagnostic classes: an unguarded access to an inferred-guarded field
+// (witnessed by the enclosing function — the path from its entry reaches
+// the access without the guard), and a write under RLock (a shared hold
+// cannot order concurrent writers).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"mcdvfs/internal/analysis/flow"
+)
+
+// concurrencyScope is the package set the three PR 9 concurrency checks
+// (guardedby, atomicmix, spawnescape) cover: the runtime system, where
+// shared mutable state lives. Fixture packages opt in by import-path
+// convention so the golden tests exercise the same Applies gate.
+var concurrencyScope = []string{
+	"mcdvfs/internal/serve",
+	"mcdvfs/internal/cluster",
+	"mcdvfs/internal/trace",
+	"mcdvfs/internal/cache",
+}
+
+func concurrencyApplies(pkgPath string) bool {
+	for _, p := range concurrencyScope {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	// Fixture packages for the concurrency checks (guardedfix, atomicfix,
+	// spawnfix) are single-segment paths like the other fixtures.
+	switch pkgPath {
+	case "guardedfix", "atomicfix", "spawnfix":
+		return true
+	}
+	return false
+}
+
+// GuardedByAnalyzer returns the mutex-guard inference check.
+func GuardedByAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "guardedby",
+		Doc:       "infer per-struct mutex guards from majority access evidence; flag minority unguarded accesses and writes under RLock",
+		Applies:   concurrencyApplies,
+		RunModule: runGuardedBy,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The guard model, shared between guardedby (which reports on it) and
+// spawnescape (which consults the inferred guards and the lock summaries).
+
+// fieldAccess is one evidence point: a syntactic access to a guardable
+// struct field inside one analysis unit.
+type fieldAccess struct {
+	field *types.Var   // the accessed field object
+	pos   token.Pos    // position of the selector
+	write bool         // assigned, inc/dec'd, or address-taken
+	held  flow.HeldSet // locks provably held locally at the access (may be empty, never nil)
+	fn    *flow.Func   // enclosing declared function; nil when the unit is a nested literal
+	local bool         // base value declared in the unit body (construction-time)
+}
+
+// structInfo describes one struct type in scope that owns at least one
+// mutex field.
+type structInfo struct {
+	named   *types.Named
+	mutexes []*types.Var // mutex-typed fields in declaration order
+}
+
+// heldCallSite is one static call site feeding the caller-held summary.
+type heldCallSite struct {
+	held    flow.HeldSet // locally held at the site (empty for defer/go)
+	caller  *flow.Func   // nil when the site is inside a function literal
+	underGo bool         // `go f(...)`: the callee runs without the caller's locks
+}
+
+type guardModel struct {
+	prog *flow.Program
+
+	// owners maps every guardable field to its owning struct (only structs
+	// with at least one mutex field are registered).
+	owners map[*types.Var]*structInfo
+	// structs indexes the same structInfos by their named type.
+	structs map[*types.Named]*structInfo
+	// accesses collects evidence per guardable field.
+	accesses map[*types.Var][]fieldAccess
+	// callerHeld is the converged summary: locks held at every module-static
+	// call site of the function (nil entry = no call-site evidence = empty).
+	callerHeld map[*flow.Func]flow.HeldSet
+	// guards is the inference result: field -> its majority mutex.
+	guards map[*types.Var]*types.Var
+	// guardStats records the (guarded, total) evidence counts behind guards.
+	guardStats map[*types.Var][2]int
+	// acquires is the transitive lock-acquisition summary per function
+	// (locks Locked or RLocked by the function or any static callee) —
+	// spawnescape uses it to treat self-locking method calls as guarded.
+	acquires map[*flow.Func]map[*types.Var]bool
+	// writesRecvField reports whether a function plainly writes any field
+	// of its receiver outside every acquired lock — spawnescape's signal
+	// that handing the receiver to a goroutine is not read-only.
+	writesRecvField map[*flow.Func]bool
+}
+
+// guardModelCache memoizes the model per loaded Program so guardedby and
+// spawnescape (identical scope, serial module passes) build it once.
+var (
+	guardModelMu    sync.Mutex
+	guardModelCache = map[*flow.Program]*guardModel{}
+)
+
+func guardModelOf(mp *ModulePass) *guardModel {
+	guardModelMu.Lock()
+	defer guardModelMu.Unlock()
+	if m, ok := guardModelCache[mp.Prog]; ok {
+		return m
+	}
+	m := buildGuardModel(mp)
+	guardModelCache[mp.Prog] = m
+	return m
+}
+
+func buildGuardModel(mp *ModulePass) *guardModel {
+	m := &guardModel{
+		prog:            mp.Prog,
+		owners:          map[*types.Var]*structInfo{},
+		structs:         map[*types.Named]*structInfo{},
+		accesses:        map[*types.Var][]fieldAccess{},
+		callerHeld:      map[*flow.Func]flow.HeldSet{},
+		guards:          map[*types.Var]*types.Var{},
+		guardStats:      map[*types.Var][2]int{},
+		acquires:        map[*flow.Func]map[*types.Var]bool{},
+		writesRecvField: map[*flow.Func]bool{},
+	}
+	inScope := map[*Package]bool{}
+	for _, pkg := range mp.Pkgs {
+		inScope[pkg] = true
+		m.indexStructs(pkg)
+	}
+
+	// Walk every function of every in-scope package: collect field-access
+	// evidence, call sites for the caller-held summary, and direct lock
+	// acquisitions for the transitive summary.
+	sites := map[*flow.Func][]heldCallSite{}
+	callEdges := map[*flow.Func][]*flow.Func{} // caller -> static callees
+	directAcq := map[*flow.Func]map[*types.Var]bool{}
+	for _, fn := range mp.Prog.Funcs() {
+		pkg := m.scopedPkg(mp, fn)
+		if pkg == nil {
+			continue
+		}
+		m.scanFunc(fn, pkg, sites, callEdges, directAcq)
+	}
+
+	m.solveCallerHeld(sites)
+	m.solveAcquires(callEdges, directAcq)
+	m.inferGuards()
+	return m
+}
+
+// scopedPkg maps a flow.Func back to the in-scope analysis package, or nil.
+func (m *guardModel) scopedPkg(mp *ModulePass, fn *flow.Func) *Package {
+	for _, pkg := range mp.Pkgs {
+		if pkg.Types == fn.Pkg.Types {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// indexStructs registers every named struct type of pkg that owns a mutex
+// field, mapping its guardable fields to the structInfo.
+func (m *guardModel) indexStructs(pkg *Package) {
+	scope := pkg.Types.Scope()
+	names := scope.Names() // already sorted
+	for _, name := range names {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		info := &structInfo{named: named}
+		var guardable []*types.Var
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if isMutexType(f.Type()) {
+				info.mutexes = append(info.mutexes, f)
+				continue
+			}
+			if isSelfSyncType(f.Type()) {
+				continue // carries its own discipline
+			}
+			guardable = append(guardable, f)
+		}
+		if len(info.mutexes) == 0 {
+			continue
+		}
+		m.structs[named] = info
+		for _, f := range guardable {
+			m.owners[f] = info
+		}
+	}
+}
+
+// scanFunc analyzes one declared function and its nested literals, each as
+// an independent unit with its own CFG and lock states.
+func (m *guardModel) scanFunc(fn *flow.Func, pkg *Package, sites map[*flow.Func][]heldCallSite, callEdges map[*flow.Func][]*flow.Func, directAcq map[*flow.Func]map[*types.Var]bool) {
+	units := []ast.Node{fn.Decl}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			units = append(units, lit)
+		}
+		return true
+	})
+	for _, unit := range units {
+		var cfg *flow.CFG
+		if unit == ast.Node(fn.Decl) {
+			cfg = fn.CFG()
+		} else {
+			cfg = flow.New(unit)
+		}
+		m.scanUnit(fn, unit, cfg, pkg, sites, callEdges, directAcq)
+	}
+}
+
+func (m *guardModel) scanUnit(fn *flow.Func, unit ast.Node, cfg *flow.CFG, pkg *Package, sites map[*flow.Func][]heldCallSite, callEdges map[*flow.Func][]*flow.Func, directAcq map[*flow.Func]map[*types.Var]bool) {
+	info := pkg.Info
+	ls := flow.LockStatesOf(cfg, info)
+	body := flow.FuncBody(unit)
+	isLit := unit != ast.Node(fn.Decl)
+
+	// Write targets: every expression on the spine of an assignment LHS, an
+	// inc/dec target, or an address-taken operand.
+	writes := map[ast.Node]bool{}
+	// Calls directly under a `go` statement.
+	goCalls := map[*ast.CallExpr]bool{}
+	walkUnit(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markWriteSpine(lhs, writes)
+			}
+		case *ast.IncDecStmt:
+			markWriteSpine(n.X, writes)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				markWriteSpine(n.X, writes)
+			}
+		case *ast.GoStmt:
+			goCalls[n.Call] = true
+		}
+	})
+
+	var accessFn *flow.Func
+	if !isLit {
+		accessFn = fn
+	}
+	walkUnit(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			fv, ok := info.Uses[n.Sel].(*types.Var)
+			if !ok || !fv.IsField() {
+				return
+			}
+			if _, tracked := m.owners[fv]; !tracked {
+				return
+			}
+			held := ls.HeldAt(n)
+			if held == nil {
+				return // defer subtree or unreachable: no fact here
+			}
+			m.accesses[fv] = append(m.accesses[fv], fieldAccess{
+				field: fv,
+				pos:   n.Sel.Pos(),
+				write: writes[n],
+				held:  held,
+				fn:    accessFn,
+				local: baseIsLocal(info, n, body),
+			})
+		case *ast.CallExpr:
+			if x, op, ok := flow.MutexOp(info, n); ok {
+				if op == "Lock" || op == "RLock" {
+					if v := flow.LockClassOf(info, x); v != nil && !isLit {
+						if directAcq[fn] == nil {
+							directAcq[fn] = map[*types.Var]bool{}
+						}
+						directAcq[fn][v] = true
+					}
+				}
+				return
+			}
+			callee := m.prog.Callee(info, n)
+			if callee == nil {
+				return
+			}
+			held := heldClone(ls.HeldAt(n)) // nil (defer subtree) clones to empty
+			sites[callee] = append(sites[callee], heldCallSite{
+				held:    held,
+				caller:  accessFn,
+				underGo: goCalls[n],
+			})
+			if !isLit {
+				callEdges[fn] = append(callEdges[fn], callee)
+			}
+		}
+	})
+
+	if !isLit {
+		m.scanRecvWrites(fn, info, body, writes, ls)
+	}
+}
+
+// scanRecvWrites records whether fn plainly writes a field of its receiver:
+// the spawnescape signal that the method mutates shared state. Writes made
+// with a struct mutex held do not count (they are guarded, not plain).
+func (m *guardModel) scanRecvWrites(fn *flow.Func, info *types.Info, body *ast.BlockStmt, writes map[ast.Node]bool, ls *flow.LockStates) {
+	recv := receiverVar(fn)
+	if recv == nil {
+		return
+	}
+	walkUnit(body, func(n ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !writes[sel] {
+			return
+		}
+		fv, ok := info.Uses[sel.Sel].(*types.Var)
+		if !ok || !fv.IsField() || isSelfSyncType(fv.Type()) {
+			return
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); !ok || info.Uses[id] != recv {
+			return
+		}
+		if len(ls.HeldAt(sel)) == 0 {
+			m.writesRecvField[fn] = true
+		}
+	})
+}
+
+// solveCallerHeld runs the caller-held fixpoint: for each function, the
+// intersection over its module-static call sites of (locally held at the
+// site ∪ caller-held of the calling function). `go` sites contribute the
+// empty set, sites inside function literals only their local state.
+// Functions whose every site transitively lacks a base case stay ⊤ and are
+// treated as empty (they are never actually entered).
+func (m *guardModel) solveCallerHeld(sites map[*flow.Func][]heldCallSite) {
+	order := m.prog.Funcs()
+	for changed := true; changed; {
+		changed = false
+		for _, f := range order {
+			ss, ok := sites[f]
+			if !ok {
+				continue // no sites: summary stays empty (nil)
+			}
+			var nh flow.HeldSet // ⊤ until a site contributes
+			top := false
+			for _, s := range ss {
+				if s.underGo {
+					nh = flow.HeldSet{}
+					break
+				}
+				contrib := heldClone(s.held)
+				if s.caller != nil {
+					if ch, ok := m.callerHeld[s.caller]; ok {
+						heldUnion(contrib, ch)
+					} else if _, hasSites := sites[s.caller]; hasSites {
+						top = true
+						continue // caller still ⊤: site contributes ⊤, identity
+					}
+				}
+				nh = heldMeet(nh, contrib)
+			}
+			if nh == nil {
+				if !top {
+					nh = flow.HeldSet{}
+				} else {
+					continue // all sites ⊤: stay unresolved this round
+				}
+			}
+			if old, ok := m.callerHeld[f]; !ok || !heldEq(nh, old) {
+				m.callerHeld[f] = nh
+				changed = true
+			}
+		}
+	}
+}
+
+// solveAcquires propagates direct lock acquisitions over static call edges
+// to a transitive per-function summary.
+func (m *guardModel) solveAcquires(callEdges map[*flow.Func][]*flow.Func, directAcq map[*flow.Func]map[*types.Var]bool) {
+	for f, acq := range directAcq {
+		cp := map[*types.Var]bool{}
+		for v := range acq {
+			cp[v] = true
+		}
+		m.acquires[f] = cp
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range m.prog.Funcs() {
+			for _, callee := range callEdges[f] {
+				for v := range m.acquires[callee] {
+					if m.acquires[f] == nil {
+						m.acquires[f] = map[*types.Var]bool{}
+					}
+					if !m.acquires[f][v] {
+						m.acquires[f][v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// effectiveHeld is the lock set credited to an access: locally held plus
+// the caller-held summary of the enclosing declared function.
+func (m *guardModel) effectiveHeld(a fieldAccess) flow.HeldSet {
+	eh := heldClone(a.held)
+	if a.fn != nil {
+		heldUnion(eh, m.callerHeld[a.fn])
+	}
+	return eh
+}
+
+// inferGuards decides, per field, whether the majority of its accesses hold
+// one mutex of the owning struct.
+func (m *guardModel) inferGuards() {
+	for fv, owner := range m.owners {
+		var evidence []fieldAccess
+		for _, a := range m.accesses[fv] {
+			if !a.local {
+				evidence = append(evidence, a)
+			}
+		}
+		if len(evidence) < 2 {
+			continue
+		}
+		var best *types.Var
+		bestCount := 0
+		for _, mu := range owner.mutexes { // declaration order: stable ties
+			count := 0
+			for _, a := range evidence {
+				if m.effectiveHeld(a).Has(mu) {
+					count++
+				}
+			}
+			if count > bestCount {
+				best, bestCount = mu, count
+			}
+		}
+		if best == nil || bestCount < 2 || bestCount <= len(evidence)-bestCount {
+			continue
+		}
+		m.guards[fv] = best
+		m.guardStats[fv] = [2]int{bestCount, len(evidence)}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The reporting pass.
+
+func runGuardedBy(mp *ModulePass) {
+	m := guardModelOf(mp)
+
+	// Deterministic field order: by (filename, offset) of the field decl.
+	fields := make([]*types.Var, 0, len(m.guards))
+	for fv := range m.guards {
+		fields = append(fields, fv)
+	}
+	pos := func(p token.Pos) token.Position { return mp.Prog.Fset.Position(p) }
+	sort.Slice(fields, func(i, j int) bool {
+		a, b := pos(fields[i].Pos()), pos(fields[j].Pos())
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+
+	for _, fv := range fields {
+		guard := m.guards[fv]
+		stats := m.guardStats[fv]
+		owner := m.owners[fv].named.Obj().Name()
+		for _, a := range m.accesses[fv] {
+			if a.local {
+				continue
+			}
+			eh := m.effectiveHeld(a)
+			switch {
+			case !eh.Has(guard):
+				mp.Reportf(a.pos,
+					"field %s.%s is guarded by %s (held on %d/%d accesses), but this access in %s is unguarded: no %s.Lock/RLock on the path from the function entry, and no module-static caller holds it",
+					owner, fv.Name(), guard.Name(), stats[0], stats[1],
+					accessSiteName(a), guard.Name())
+			case a.write && eh[guard] == flow.LockRead:
+				mp.Reportf(a.pos,
+					"write to %s.%s in %s holds only %s.RLock: a shared hold cannot order concurrent writers; use %s.Lock",
+					owner, fv.Name(), accessSiteName(a), guard.Name(), guard.Name())
+			}
+		}
+	}
+}
+
+// accessSiteName names the unit an access sits in, for the witness text.
+func accessSiteName(a fieldAccess) string {
+	if a.fn == nil {
+		return "a function literal"
+	}
+	return funcDisplayName(a.fn)
+}
+
+// funcDisplayName renders "(*T).Method" / "T.Method" / "Func".
+func funcDisplayName(f *flow.Func) string {
+	sig, ok := f.Obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return f.Obj.Name()
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		if n, ok := p.Elem().(*types.Named); ok {
+			return fmt.Sprintf("(*%s).%s", n.Obj().Name(), f.Obj.Name())
+		}
+	}
+	if n, ok := t.(*types.Named); ok {
+		return fmt.Sprintf("%s.%s", n.Obj().Name(), f.Obj.Name())
+	}
+	return f.Obj.Name()
+}
+
+// ---------------------------------------------------------------------------
+// Shared structural helpers.
+
+// walkUnit visits every node of a unit body except nested function literals
+// (they are independent units).
+func walkUnit(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			visit(n)
+			return false
+		}
+		visit(n)
+		return true
+	})
+}
+
+// markWriteSpine marks the chain of expressions an assignment writes
+// through: s.items[k] = v writes the map held in s.items, *s.p = v writes
+// through the pointer field. Index expressions mark only the container.
+func markWriteSpine(e ast.Expr, writes map[ast.Node]bool) {
+	for {
+		writes[e] = true
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// baseIsLocal reports whether the root identifier of a selector chain is a
+// variable declared inside body — the construction-time pattern guardedby
+// and atomicmix exclude from evidence.
+func baseIsLocal(info *types.Info, sel *ast.SelectorExpr, body *ast.BlockStmt) bool {
+	root := rootIdentOf(sel.X)
+	if root == nil {
+		return false
+	}
+	v, ok := info.Uses[root].(*types.Var)
+	if !ok {
+		if v, ok = info.Defs[root].(*types.Var); !ok {
+			return false
+		}
+	}
+	return v.Pos() >= body.Pos() && v.Pos() <= body.End()
+}
+
+// rootIdentOf unwraps a selector/index/deref chain to its base identifier,
+// or nil when the base is a call or other non-variable expression.
+func rootIdentOf(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func receiverVar(f *flow.Func) *types.Var {
+	sig, ok := f.Obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv()
+}
+
+// isMutexType reports whether t (or its pointee) is sync.Mutex/sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isNamedIn(t, "sync", "Mutex") || isNamedIn(t, "sync", "RWMutex")
+}
+
+// isSelfSyncType reports whether t carries its own synchronization
+// discipline: channels, anything from sync or sync/atomic (behind at most
+// one pointer).
+func isSelfSyncType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	switch n.Obj().Pkg().Path() {
+	case "sync", "sync/atomic":
+		return true
+	}
+	return false
+}
+
+func isNamedIn(t types.Type, pkg, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkg && obj.Name() == name
+}
+
+// ---------------------------------------------------------------------------
+// HeldSet arithmetic (flow.HeldSet is a plain map type).
+
+func heldClone(h flow.HeldSet) flow.HeldSet {
+	out := make(flow.HeldSet, len(h))
+	for v, mode := range h {
+		out[v] = mode
+	}
+	return out
+}
+
+// heldUnion adds b into a; the stronger mode wins.
+func heldUnion(a, b flow.HeldSet) {
+	for v, mode := range b {
+		if a[v] != flow.LockWrite {
+			a[v] = mode
+		}
+	}
+}
+
+// heldMeet intersects (nil = ⊤ identity); the weaker mode wins.
+func heldMeet(a, b flow.HeldSet) flow.HeldSet {
+	if a == nil {
+		return heldClone(b)
+	}
+	out := flow.HeldSet{}
+	for v, ma := range a {
+		if mb, ok := b[v]; ok {
+			if ma == flow.LockRead || mb == flow.LockRead {
+				out[v] = flow.LockRead
+			} else {
+				out[v] = flow.LockWrite
+			}
+		}
+	}
+	return out
+}
+
+func heldEq(a, b flow.HeldSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v, m := range a {
+		if b[v] != m {
+			return false
+		}
+	}
+	return true
+}
+
+// site renders a position as base-file:line for diagnostic text.
+func fsetSite(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

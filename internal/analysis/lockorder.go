@@ -89,8 +89,8 @@ func (lo *lockOrderChecker) buildSummaries() {
 			if !ok {
 				return true
 			}
-			if x, op, ok := mutexOp(fn.Pkg.Info, call); ok && (op == "Lock" || op == "RLock") {
-				if v := lockClassOf(fn.Pkg.Info, x); v != nil {
+			if x, op, ok := flow.MutexOp(fn.Pkg.Info, call); ok && (op == "Lock" || op == "RLock") {
+				if v := flow.LockClassOf(fn.Pkg.Info, x); v != nil {
 					acq[v] = true
 				}
 			} else if callee := prog.Callee(fn.Pkg.Info, call); callee != nil {
@@ -146,8 +146,8 @@ func (lo *lockOrderChecker) scan(info *types.Info, body *ast.BlockStmt, nested *
 		case *ast.DeferStmt:
 			// defer mu.Unlock() pins; any other deferred call is not part of
 			// this scan's order (it runs at exit).
-			if x, op, ok := mutexOp(info, n.Call); ok && (op == "Unlock" || op == "RUnlock") {
-				if v := lockClassOf(info, x); v != nil {
+			if x, op, ok := flow.MutexOp(info, n.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				if v := flow.LockClassOf(info, x); v != nil {
 					for i := len(held) - 1; i >= 0; i-- {
 						if held[i].v == v {
 							held[i].deferred = true
@@ -169,8 +169,8 @@ func (lo *lockOrderChecker) scan(info *types.Info, body *ast.BlockStmt, nested *
 			held = kept
 			return true
 		case *ast.CallExpr:
-			if x, op, ok := mutexOp(info, n); ok {
-				v := lockClassOf(info, x)
+			if x, op, ok := flow.MutexOp(info, n); ok {
+				v := flow.LockClassOf(info, x)
 				if v == nil {
 					return true
 				}
@@ -256,50 +256,4 @@ func (lo *lockOrderChecker) className(v *types.Var) string {
 func (lo *lockOrderChecker) site(pos token.Pos) string {
 	p := lo.mp.Prog.Fset.Position(pos)
 	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
-}
-
-// mutexOp matches calls to sync.Mutex/sync.RWMutex lock methods, returning
-// the receiver expression and the method name.
-func mutexOp(info *types.Info, call *ast.CallExpr) (ast.Expr, string, bool) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return nil, "", false
-	}
-	switch sel.Sel.Name {
-	case "Lock", "Unlock", "RLock", "RUnlock":
-	default:
-		return nil, "", false
-	}
-	s, ok := info.Selections[sel]
-	if !ok {
-		return nil, "", false
-	}
-	f, ok := s.Obj().(*types.Func)
-	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
-		return nil, "", false
-	}
-	return sel.X, sel.Sel.Name, true
-}
-
-// lockClassOf resolves a lock receiver expression to its variable identity:
-// the field object for s.mu (shared by every method), the var object for a
-// local or package mutex. nil means untracked (an element of a map, say).
-func lockClassOf(info *types.Info, x ast.Expr) *types.Var {
-	switch x := ast.Unparen(x).(type) {
-	case *ast.SelectorExpr:
-		if v, ok := info.Uses[x.Sel].(*types.Var); ok {
-			return v
-		}
-	case *ast.Ident:
-		if v, ok := info.Uses[x].(*types.Var); ok {
-			return v
-		}
-		if v, ok := info.Defs[x].(*types.Var); ok {
-			return v
-		}
-	case *ast.IndexExpr:
-		// shards[i].mu unifies on the field; recurse through the index.
-		return lockClassOf(info, x.X)
-	}
-	return nil
 }

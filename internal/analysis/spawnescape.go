@@ -1,0 +1,774 @@
+package analysis
+
+// spawnescape generalizes the PR 7 owned check from annotated values to an
+// automatic audit of every goroutine spawn: for each `go` statement — and
+// each call into a module-static function that hands an argument to a
+// goroutine ("spawning callee") — classify every variable that escapes into
+// the new goroutine, and report the ones no discipline accounts for.
+//
+// The classification lattice (DESIGN.md §7.4):
+//
+//	confined      sole spawn, no launcher use after the spawn point on any
+//	              CFG path (defers included) — ownership transferred
+//	synchronized  the variable's type carries its own discipline (channel,
+//	              sync.*, sync/atomic, context.Context), or every unguarded
+//	              use goes through one: channel ops, mutex/WaitGroup
+//	              methods, atomic calls, field accesses with the guardedby-
+//	              inferred mutex provably held, or module-static method
+//	              calls that acquire a mutex of the receiver's struct
+//	read-only     shared but only plainly read on both sides
+//	racy-unknown  everything else — reported
+//
+// Conservatisms, chosen to make "racy-unknown" mean something: a call to a
+// method the module cannot see (interface, out-of-module type) counts as a
+// plain write, because an opaque callee may mutate its receiver; a spawn
+// target that is not a function literal is opaque the same way unless its
+// receiver summary proves it only reads. Receiver self-spawns
+// (`go p.work()`) do not audit p itself: an object launching its own
+// method manages its own fields, which is guardedby/atomicmix territory.
+// Loop spawns sharing a variable declared outside the loop are racy when
+// the goroutine writes it; per-iteration variables (including Go 1.22
+// range variables) are each goroutine's own.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"mcdvfs/internal/analysis/flow"
+)
+
+// SpawnEscapeAnalyzer returns the goroutine spawn-site escape audit.
+func SpawnEscapeAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "spawnescape",
+		Doc:       "audit every go statement and goroutine-spawning callee: report captured variables that are neither confined, guarded, atomic, nor read-only",
+		Applies:   concurrencyApplies,
+		RunModule: runSpawnEscape,
+	}
+}
+
+func runSpawnEscape(mp *ModulePass) {
+	se := &spawnEscape{
+		mp:          mp,
+		m:           guardModelOf(mp),
+		spawnParams: map[*flow.Func]map[int]bool{},
+	}
+	se.solveSpawnParams()
+	for _, fn := range mp.Prog.Funcs() {
+		pkg := se.m.scopedPkg(mp, fn)
+		if pkg == nil {
+			continue
+		}
+		se.auditFunc(fn, pkg)
+	}
+}
+
+type spawnEscape struct {
+	mp *ModulePass
+	m  *guardModel
+	// spawnParams marks, per function, the parameter indices whose value
+	// escapes into a goroutine inside the function (transitively through
+	// module-static calls). The receiver is deliberately excluded: self-
+	// spawning objects manage their own fields.
+	spawnParams map[*flow.Func]map[int]bool
+}
+
+type spawnUseKind int
+
+const (
+	useSync spawnUseKind = iota
+	useRead
+	useWrite
+)
+
+// ---------------------------------------------------------------------------
+// Spawning-callee summary.
+
+// solveSpawnParams computes the escaping-parameter fixpoint.
+func (se *spawnEscape) solveSpawnParams() {
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range se.mp.Prog.Funcs() {
+			pkg := se.m.scopedPkg(se.mp, fn)
+			if pkg == nil {
+				continue
+			}
+			if se.scanSpawnParams(fn, pkg) {
+				changed = true
+			}
+		}
+	}
+}
+
+func paramIndex(fn *flow.Func, v *types.Var) (int, bool) {
+	sig, ok := fn.Obj.Type().(*types.Signature)
+	if !ok {
+		return 0, false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (se *spawnEscape) scanSpawnParams(fn *flow.Func, pkg *Package) bool {
+	info := pkg.Info
+	escaped := map[*types.Var]bool{}
+	mark := func(e ast.Expr) {
+		if root := rootIdentOf(e); root != nil {
+			if v, ok := info.Uses[root].(*types.Var); ok {
+				escaped[v] = true
+			}
+		}
+	}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if v, ok := info.Uses[id].(*types.Var); ok {
+							escaped[v] = true
+						}
+					}
+					return true
+				})
+			}
+			for _, arg := range n.Call.Args {
+				mark(arg)
+			}
+			if sel, ok := ast.Unparen(n.Call.Fun).(*ast.SelectorExpr); ok {
+				mark(sel.X)
+			}
+		case *ast.CallExpr:
+			callee := se.mp.Prog.Callee(info, n)
+			if callee == nil {
+				return true
+			}
+			for j, arg := range n.Args {
+				if !se.spawnParams[callee][j] {
+					continue
+				}
+				mark(arg)
+			}
+		}
+		return true
+	})
+
+	changed := false
+	for v := range escaped {
+		j, ok := paramIndex(fn, v)
+		if !ok {
+			continue
+		}
+		if se.spawnParams[fn] == nil {
+			se.spawnParams[fn] = map[int]bool{}
+		}
+		if !se.spawnParams[fn][j] {
+			se.spawnParams[fn][j] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ---------------------------------------------------------------------------
+// The audit.
+
+// spawnSite is one audited (spawn, variable) pair.
+type spawnSite struct {
+	pos token.Pos
+	v   *types.Var
+	// goUses are the goroutine-side uses (nil for opaque targets).
+	goUses []spawnUseKind
+	opaque bool // goroutine side invisible: assume reads and writes
+	// goDesc names the opaque target for the message.
+	goDesc     string
+	loopShared bool
+}
+
+func (se *spawnEscape) auditFunc(fn *flow.Func, pkg *Package) {
+	units := []ast.Node{fn.Decl}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			units = append(units, lit)
+		}
+		return true
+	})
+	for _, unit := range units {
+		var cfg *flow.CFG
+		if unit == ast.Node(fn.Decl) {
+			cfg = fn.CFG()
+		} else {
+			cfg = flow.New(unit)
+		}
+		se.auditUnit(fn, unit, cfg, pkg)
+	}
+}
+
+func (se *spawnEscape) auditUnit(fn *flow.Func, unit ast.Node, cfg *flow.CFG, pkg *Package) {
+	info := pkg.Info
+	body := flow.FuncBody(unit)
+	ls := flow.LockStatesOf(cfg, info)
+	parents := buildParents(body)
+	writes := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markWriteSpine(lhs, writes)
+			}
+		case *ast.IncDecStmt:
+			markWriteSpine(n.X, writes)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				markWriteSpine(n.X, writes)
+			}
+		}
+		return true
+	})
+
+	// funcScoped reports whether v is a variable of the enclosing function
+	// (param, receiver, or local) — the capture universe. Package variables
+	// and fields have their own checks.
+	funcScoped := func(v *types.Var) bool {
+		return v != nil && !v.IsField() &&
+			(v.Pkg() == nil || v.Parent() != v.Pkg().Scope()) &&
+			v.Pos() >= fn.Decl.Pos() && v.Pos() <= fn.Decl.End()
+	}
+
+	var sites []spawnSite
+	walkUnit(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			sites = append(sites, se.auditGo(fn, unit, info, ls, parents, writes, n, funcScoped)...)
+		case *ast.CallExpr:
+			if _, isGo := parents[n].(*ast.GoStmt); isGo {
+				return
+			}
+			callee := se.mp.Prog.Callee(info, n)
+			if callee == nil || len(se.spawnParams[callee]) == 0 {
+				return
+			}
+			for j, arg := range n.Args {
+				if !se.spawnParams[callee][j] {
+					continue
+				}
+				v := rootVarOf(info, arg)
+				if !funcScoped(v) || !referenceCarrying(v.Type()) || typeSynchronized(v.Type()) {
+					continue
+				}
+				sites = append(sites, spawnSite{
+					pos: n.Pos(), v: v, opaque: true,
+					goDesc:     funcDisplayName(callee),
+					loopShared: loopShared(parents, n, v),
+				})
+			}
+		}
+	})
+
+	// Sibling-goroutine sharing: a variable captured by more than one spawn
+	// in the unit is concurrently visible even when no single spawn leaves
+	// launcher uses behind.
+	captureCount := map[*types.Var]int{}
+	for _, s := range sites {
+		captureCount[s.v]++
+	}
+
+	for _, s := range sites {
+		se.decide(fn, cfg, info, ls, parents, writes, s, captureCount[s.v] > 1)
+	}
+}
+
+// auditGo expands one go statement into its audited (spawn, variable) pairs.
+func (se *spawnEscape) auditGo(fn *flow.Func, unit ast.Node, info *types.Info, ls *flow.LockStates, parents map[ast.Node]ast.Node, writes map[ast.Node]bool, g *ast.GoStmt, funcScoped func(*types.Var) bool) []spawnSite {
+	var sites []spawnSite
+	add := func(s spawnSite) {
+		if s.v == nil || !funcScoped(s.v) || typeSynchronized(s.v.Type()) {
+			return
+		}
+		s.pos = g.Pos()
+		s.loopShared = loopShared(parents, g, s.v)
+		sites = append(sites, s)
+	}
+
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		// Free variables: used in the literal, declared outside it.
+		seen := map[*types.Var]bool{}
+		var free []*types.Var
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok || seen[v] {
+				return true
+			}
+			if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+				return true // the literal's own param or local
+			}
+			seen[v] = true
+			free = append(free, v)
+			return true
+		})
+		sort.Slice(free, func(i, j int) bool { return free[i].Pos() < free[j].Pos() })
+		litLS := flow.LockStatesOf(flow.New(lit), info)
+		litParents := buildParents(lit.Body)
+		for _, v := range free {
+			add(spawnSite{v: v, goUses: se.usesIn(info, lit.Body, litParents, litLS, writes, v)})
+		}
+		// Arguments passed into the literal bind to its parameters: the
+		// goroutine-side uses are the parameter's.
+		for j, arg := range g.Call.Args {
+			v := rootVarOf(info, arg)
+			if v == nil || !referenceCarrying(v.Type()) {
+				continue
+			}
+			pv := litParamVar(info, lit, j)
+			var uses []spawnUseKind
+			if pv != nil {
+				uses = se.usesIn(info, lit.Body, litParents, litLS, writes, pv)
+			}
+			add(spawnSite{v: v, goUses: uses, opaque: pv == nil, goDesc: "a goroutine"})
+		}
+		return sites
+	}
+
+	// go f(args) / go obj.Method(args): the spawned body is elsewhere.
+	callee := se.mp.Prog.Callee(info, g.Call)
+	desc := "a dynamic callee"
+	if callee != nil {
+		desc = funcDisplayName(callee)
+	} else if sel, ok := ast.Unparen(g.Call.Fun).(*ast.SelectorExpr); ok {
+		desc = sel.Sel.Name
+	} else if id, ok := ast.Unparen(g.Call.Fun).(*ast.Ident); ok {
+		desc = id.Name
+	}
+	for _, arg := range g.Call.Args {
+		v := rootVarOf(info, arg)
+		if v == nil || !referenceCarrying(v.Type()) {
+			continue
+		}
+		add(spawnSite{v: v, opaque: true, goDesc: desc})
+	}
+	if sel, ok := ast.Unparen(g.Call.Fun).(*ast.SelectorExpr); ok {
+		v := rootVarOf(info, sel.X)
+		if v != nil && v != receiverVar(fn) { // self-spawn: the object's own discipline
+			if callee != nil {
+				// The receiver's goroutine-side behaviour is the method's
+				// summary: self-locking or read-only methods are safe.
+				switch {
+				case se.m.writesRecvField[callee]:
+					add(spawnSite{v: v, opaque: true, goDesc: desc})
+				default:
+					add(spawnSite{v: v, goUses: []spawnUseKind{useRead}, goDesc: desc})
+				}
+			} else {
+				add(spawnSite{v: v, opaque: true, goDesc: desc})
+			}
+		}
+	}
+	return sites
+}
+
+// usesIn classifies every use of v inside root.
+func (se *spawnEscape) usesIn(info *types.Info, root ast.Node, parents map[ast.Node]ast.Node, ls *flow.LockStates, writes map[ast.Node]bool, v *types.Var) []spawnUseKind {
+	var uses []spawnUseKind
+	ast.Inspect(root, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != v {
+			return true
+		}
+		uses = append(uses, se.classifyUse(info, parents, ls, writes, id, v))
+		return true
+	})
+	return uses
+}
+
+// decide applies the classification lattice to one audited site and reports
+// racy-unknown results.
+func (se *spawnEscape) decide(fn *flow.Func, cfg *flow.CFG, info *types.Info, ls *flow.LockStates, parents map[ast.Node]ast.Node, writes map[ast.Node]bool, s spawnSite, multiSpawn bool) {
+	goWrites, goReads := false, false
+	if s.opaque {
+		goWrites, goReads = true, true
+	}
+	for _, u := range s.goUses {
+		switch u {
+		case useWrite:
+			goWrites = true
+		case useRead:
+			goReads = true
+		}
+	}
+
+	// Launcher-side uses after the spawn point (defers included).
+	var post []spawnUseKind
+	var postPos token.Pos
+	for _, n := range nodesAfter(cfg, se.spawnAnchor(parents, s.pos)) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok || info.Uses[id] != s.v {
+				return true
+			}
+			k := se.classifyUse(info, parents, ls, writes, id, s.v)
+			if k != useSync {
+				post = append(post, k)
+				if postPos == token.NoPos || id.Pos() < postPos {
+					postPos = id.Pos()
+				}
+			}
+			return true
+		})
+	}
+	postWrites := false
+	for _, k := range post {
+		if k == useWrite {
+			postWrites = true
+		}
+	}
+
+	confined := len(post) == 0 && !multiSpawn && !s.loopShared
+	if confined {
+		return // ownership transferred (or every residual use synchronized)
+	}
+	fset := se.mp.Prog.Fset
+
+	var detail string
+	switch {
+	case s.opaque && (len(post) > 0 || multiSpawn || s.loopShared):
+		detail = fmt.Sprintf("escapes to %s, which this analysis cannot see into", s.goDesc)
+	case goWrites:
+		detail = "written inside the goroutine without synchronization"
+	case postWrites && goReads:
+		detail = fmt.Sprintf("read inside the goroutine but written by the launcher after the spawn (%s)", fsetSite(fset, postPos))
+	default:
+		return // read-only or synchronized sharing
+	}
+
+	var concurrent string
+	switch {
+	case s.loopShared:
+		concurrent = "shared across loop-spawned goroutines"
+	case multiSpawn:
+		concurrent = "captured by more than one goroutine here"
+	case len(post) > 0:
+		concurrent = fmt.Sprintf("still used by the launcher after the spawn (%s)", fsetSite(fset, postPos))
+	default:
+		return // opaque or writing goroutine, but nobody else looks: confined
+	}
+
+	se.mp.Reportf(s.pos,
+		"goroutine capture of %s in %s is racy-unknown: %s, %s; confine it to one side, guard it with the struct mutex, or use sync/atomic",
+		s.v.Name(), funcDisplayName(fn), detail, concurrent)
+}
+
+// spawnAnchor finds the statement node holding the spawn position, so
+// nodesAfter can locate it in the CFG. For go statements the position IS
+// the statement; for spawning-callee call sites the call's statement.
+func (se *spawnEscape) spawnAnchor(parents map[ast.Node]ast.Node, pos token.Pos) ast.Node {
+	for n := range parents {
+		if n.Pos() == pos {
+			if _, ok := n.(*ast.GoStmt); ok {
+				return n
+			}
+		}
+	}
+	for n := range parents {
+		if n.Pos() == pos {
+			if _, ok := n.(*ast.CallExpr); ok {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// classifyUse decides what one identifier occurrence of v means: an access
+// through a synchronizer, a plain read, or a plain write.
+func (se *spawnEscape) classifyUse(info *types.Info, parents map[ast.Node]ast.Node, ls *flow.LockStates, writes map[ast.Node]bool, id *ast.Ident, v *types.Var) spawnUseKind {
+	// Climb the access spine: selectors, indexes, derefs, address-of.
+	var lastField *types.Var
+	var lastFieldNode ast.Node
+	wrote := writes[id]
+	cur := ast.Node(id)
+climb:
+	for {
+		p := parents[cur]
+		if p == nil {
+			break
+		}
+		switch pp := p.(type) {
+		case *ast.ParenExpr:
+			cur = p
+		case *ast.StarExpr:
+			cur = p
+		case *ast.IndexExpr:
+			if pp.X != cur {
+				break climb
+			}
+			cur = p
+		case *ast.UnaryExpr:
+			if pp.Op != token.AND {
+				break climb
+			}
+			cur = p
+		case *ast.SelectorExpr:
+			if pp.X != cur {
+				break climb
+			}
+			if fv, ok := info.Uses[pp.Sel].(*types.Var); ok && fv.IsField() {
+				lastField, lastFieldNode = fv, p
+				cur = p
+			} else {
+				// Method selector: resolved against the call below.
+				cur = p
+				break climb
+			}
+		default:
+			break climb
+		}
+		if writes[cur] {
+			wrote = true
+		}
+	}
+
+	// Method call on the spine?
+	if sel, ok := cur.(*ast.SelectorExpr); ok {
+		if call, ok := parents[sel].(*ast.CallExpr); ok && call.Fun == ast.Node(sel) {
+			if _, _, ok := flow.MutexOp(info, call); ok {
+				return useSync
+			}
+			if recvIsAtomicWrapper(info, sel.X) || recvInSyncPkg(info, sel.X) {
+				return useSync
+			}
+			if callee := se.mp.Prog.Callee(info, call); callee != nil {
+				if se.calleeAcquiresMutexOf(callee, v) {
+					return useSync
+				}
+				if se.m.writesRecvField[callee] {
+					return useWrite
+				}
+				return useRead
+			}
+			return useWrite // opaque method may mutate its receiver
+		}
+	}
+
+	// A field access whose own type synchronizes (chan, sync, atomic).
+	if lastField != nil && isSelfSyncType(lastField.Type()) {
+		return useSync
+	}
+	// A field access with its inferred guard provably held here.
+	if lastField != nil {
+		if guard := se.m.guards[lastField]; guard != nil {
+			if held := ls.HeldAt(lastFieldNode); held.Has(guard) {
+				return useSync
+			}
+		}
+	}
+	// The &v argument of a sync/atomic package call.
+	if un, ok := parents[cur].(*ast.UnaryExpr); ok && un.Op == token.AND {
+		cur = un
+	}
+	if call, ok := parents[cur].(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if pkgID, ok := sel.X.(*ast.Ident); ok {
+				if pn, ok := pkgNameOf(info, pkgID); ok && pn.Imported().Path() == "sync/atomic" {
+					return useSync
+				}
+			}
+		}
+	}
+
+	if wrote {
+		return useWrite
+	}
+	return useRead
+}
+
+// calleeAcquiresMutexOf reports whether callee (transitively) acquires a
+// mutex field of v's struct type — the self-locking method pattern.
+func (se *spawnEscape) calleeAcquiresMutexOf(callee *flow.Func, v *types.Var) bool {
+	acq := se.m.acquires[callee]
+	if len(acq) == 0 {
+		return false
+	}
+	t := v.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	si := se.m.structs[named]
+	if si == nil {
+		return false
+	}
+	for _, mu := range si.mutexes {
+		if acq[mu] {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Structural helpers.
+
+// buildParents maps every node under root to its parent.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// nodesAfter returns every CFG node that can execute after target: the rest
+// of its block, every node of every reachable successor block (loop
+// back-edges included), and all deferred statements.
+func nodesAfter(c *flow.CFG, target ast.Node) []ast.Node {
+	if target == nil {
+		return nil
+	}
+	var blk *flow.Block
+	idx := -1
+	for _, b := range c.Blocks {
+		for i, n := range b.Nodes {
+			if n == target || contains(n, target) {
+				blk, idx = b, i
+				break
+			}
+		}
+		if blk != nil {
+			break
+		}
+	}
+	if blk == nil {
+		return nil
+	}
+	var out []ast.Node
+	out = append(out, blk.Nodes[idx+1:]...)
+	seen := map[*flow.Block]bool{}
+	queue := append([]*flow.Block{}, blk.Succs...)
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		for _, n := range b.Nodes {
+			if n != target {
+				out = append(out, n)
+			}
+		}
+		queue = append(queue, b.Succs...)
+	}
+	return out
+}
+
+// loopShared reports whether n sits inside a loop that v is declared
+// outside of: every iteration's goroutine sees the same variable.
+func loopShared(parents map[ast.Node]ast.Node, n ast.Node, v *types.Var) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		switch p.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if v.Pos() < p.Pos() || v.Pos() > p.End() {
+				return true
+			}
+		case *ast.FuncLit:
+			return false // the loop would belong to an outer unit
+		}
+	}
+	return false
+}
+
+// rootVarOf resolves the base variable of an expression chain, or nil.
+func rootVarOf(info *types.Info, e ast.Expr) *types.Var {
+	root := rootIdentOf(e)
+	if root == nil {
+		return nil
+	}
+	v, _ := info.Uses[root].(*types.Var)
+	return v
+}
+
+// litParamVar returns the j-th declared parameter object of a literal.
+func litParamVar(info *types.Info, lit *ast.FuncLit, j int) *types.Var {
+	if lit.Type.Params == nil {
+		return nil
+	}
+	i := 0
+	for _, f := range lit.Type.Params.List {
+		for _, name := range f.Names {
+			if i == j {
+				v, _ := info.Defs[name].(*types.Var)
+				return v
+			}
+			i++
+		}
+		if len(f.Names) == 0 {
+			i++
+		}
+	}
+	return nil
+}
+
+// referenceCarrying reports whether passing a value of type t aliases
+// mutable state: pointers, maps, slices, and non-context interfaces.
+// Channels and sync types are handled by typeSynchronized; plain values
+// (ints, strings, structs of them) are copied.
+func referenceCarrying(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice:
+		return true
+	case *types.Interface:
+		return !isNamedIn(t, "context", "Context")
+	}
+	return false
+}
+
+// typeSynchronized reports whether t's values carry their own concurrency
+// discipline: channels, sync and sync/atomic types, context.Context.
+func typeSynchronized(t types.Type) bool {
+	if isSelfSyncType(t) {
+		return true
+	}
+	return isNamedIn(t, "context", "Context")
+}
+
+// recvInSyncPkg reports whether e's (possibly pointed-to) type is declared
+// in package sync — WaitGroup.Done, Once.Do, Cond.Signal are all
+// synchronization, not data access.
+func recvInSyncPkg(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync"
+}

@@ -1,0 +1,77 @@
+// Package atomicfix exercises the atomicmix check: variables accessed both
+// through sync/atomic and through plain loads/stores. stats mixes the
+// function form (atomic.AddInt64) with a plain read and mixes wrapper
+// methods (atomic.Int64) with a plain overwrite; total is the
+// package-variable case. The clean cases: construction-time writes,
+// package init, address-of a wrapper (sharing, not tearing), and fields
+// that are consistently atomic or consistently plain.
+package atomicfix
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64        // mixed: atomic adds, plain read in report
+	drops atomic.Int64 // mixed: methods, plain overwrite in clear
+	plain int64        // consistently plain: never reported
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+	s.drops.Add(1)
+	s.plain++
+}
+
+// report's read of hits is the torn read: reported.
+func (s *stats) report() int64 {
+	return s.hits + s.drops.Load() + s.plain
+}
+
+// clear overwrites the wrapper without going through Store: reported.
+func (s *stats) clear() {
+	s.drops = atomic.Int64{}
+}
+
+// share passes the wrapper's address on — that is how atomics are shared,
+// not a tear.
+func (s *stats) share() *atomic.Int64 {
+	return &s.drops
+}
+
+// peek is a second torn read, waived: the suppression must hold exactly
+// this line back while report stays flagged.
+func (s *stats) peek() int64 {
+	//lint:allow atomicmix debug-only read; a torn value is acceptable here
+	return s.hits
+}
+
+// newStats writes hits before the value is shared: construction-time
+// accesses are not evidence.
+func newStats() *stats {
+	s := &stats{}
+	s.hits = 0
+	return s
+}
+
+// total is the package-level case: atomic adds plus one plain read.
+var total int64
+
+func addTotal(n int64) {
+	atomic.AddInt64(&total, n)
+}
+
+// readTotal is reported.
+func readTotal() int64 {
+	return total
+}
+
+// ticks is only ever touched atomically after init; the init write is
+// single-threaded and excluded.
+var ticks int64
+
+func init() {
+	ticks = 0
+}
+
+func tick() {
+	atomic.AddInt64(&ticks, 1)
+}

@@ -1,0 +1,132 @@
+// Package guardedfix exercises the guardedby check: majority-evidence
+// mutex inference over struct fields. counter shows the basic 3-of-4
+// inference with one unguarded access; gauge shows a write under RLock;
+// table shows accesses counted as guarded through the caller-held summary
+// (bump is only ever called with the lock held) plus a waived cold-path
+// read; relay shows the clean cases — construction-time accesses, split
+// evidence with no majority, and a mutex-free struct.
+package guardedfix
+
+import "sync"
+
+// counter: n is guarded by mu on three of four accesses.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) reset() {
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+}
+
+// skipsGuard is the minority access: reported with the inferred guard.
+func (c *counter) skipsGuard() int {
+	return c.n
+}
+
+// newCounter's accesses are construction-time (local base) and not
+// evidence either way.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// gauge: every access holds mu, but badBump writes under the shared mode.
+type gauge struct {
+	mu  sync.RWMutex
+	val int
+}
+
+func (g *gauge) set(v int) {
+	g.mu.Lock()
+	g.val = v
+	g.mu.Unlock()
+}
+
+func (g *gauge) read() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.val
+}
+
+// badBump is reported: a write while only read-holding the guard.
+func (g *gauge) badBump() {
+	g.mu.RLock()
+	g.val++
+	g.mu.RUnlock()
+}
+
+// table: bump never locks, but both its call sites hold mu, so its access
+// counts as guarded through the caller-held summary.
+type table struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+func (t *table) put(k string, v int) {
+	t.mu.Lock()
+	t.items[k] = v
+	t.bump(k, 0)
+	t.mu.Unlock()
+}
+
+func (t *table) del(k string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.items, k)
+}
+
+func (t *table) bump(k string, v int) {
+	t.items[k] += v
+}
+
+// size is the unguarded minority access: reported.
+func (t *table) size() int {
+	return len(t.items)
+}
+
+// snapshot is unguarded too, but waived: the suppression must hold the
+// diagnostic back without disturbing the inference.
+func (t *table) snapshot() map[string]int {
+	//lint:allow guardedby startup-only read before the table is shared
+	return t.items
+}
+
+// relay: evidence splits one-and-one between two accesses, so no guard
+// reaches the majority bar and nothing is reported.
+type relay struct {
+	mu   sync.Mutex
+	hops int
+}
+
+func (r *relay) locked() {
+	r.mu.Lock()
+	r.hops++
+	r.mu.Unlock()
+}
+
+func (r *relay) unlocked() int {
+	return r.hops
+}
+
+// bare has no mutex at all: its fields are never tracked.
+type bare struct {
+	n int
+}
+
+func (b *bare) touch() { b.n++ }

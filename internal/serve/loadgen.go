@@ -172,9 +172,26 @@ type LoadReport struct {
 	// scrapes succeeded appear.
 	NodeGridCollections map[string]int64
 	// ScrapeWarnings records /metrics scrape failures, one entry per
-	// affected target. A dead /metrics endpoint must read as "counters
-	// unavailable", never as a 0% coalescing hit rate.
-	ScrapeWarnings []string
+	// affected target and phase. A dead /metrics endpoint must read as
+	// "counters unavailable", never as a 0% coalescing hit rate — and in
+	// a multi-target run the warning names WHICH node was dark.
+	ScrapeWarnings []ScrapeWarning
+}
+
+// ScrapeWarning is one failed /metrics scrape, attributed to the target
+// URL and the run phase so a dark node is identifiable from the summary.
+type ScrapeWarning struct {
+	// Target is the node base URL whose scrape failed.
+	Target string
+	// Phase is "before" or "after": which end of the run lost counters.
+	Phase string
+	// Err is the scrape failure.
+	Err string
+}
+
+func (w ScrapeWarning) String() string {
+	return fmt.Sprintf("%s-run /metrics scrape of %s failed: %s (cache counters for this node unavailable)",
+		w.Phase, w.Target, w.Err)
 }
 
 // sample is one completed request.
@@ -198,7 +215,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	// The scrapes use the caller's context: the run context below expires
 	// with the duration, which must not kill the after-run scrape.
 	scrapeCtx := ctx
-	before, warns := scrapeTargets(scrapeCtx, cfg)
+	before, warns := scrapeTargets(scrapeCtx, cfg, "before")
 	if cfg.Requests == 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
@@ -216,6 +233,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Clients; i++ {
 		wg.Add(1)
+		//lint:allow spawnescape each client writes only its own results slot; wg.Wait orders the reads
 		go func(id int) {
 			defer wg.Done()
 			results[id] = runClient(ctx, cfg, id, perClient[id])
@@ -224,7 +242,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	wg.Wait()
 
 	report := aggregate(results)
-	after, afterWarns := scrapeTargets(scrapeCtx, cfg)
+	after, afterWarns := scrapeTargets(scrapeCtx, cfg, "after")
 	report.ScrapeWarnings = append(warns, afterWarns...)
 	report.NodeGridCollections = make(map[string]int64)
 	for _, target := range cfg.Targets {
@@ -252,15 +270,16 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 }
 
 // scrapeTargets scrapes every target's /metrics, returning per-target
-// counters plus one warning per failed scrape — a dead endpoint must be
-// reported, not silently folded into zero deltas.
-func scrapeTargets(ctx context.Context, cfg LoadConfig) (map[string]map[string]int64, []string) {
+// counters plus one attributed warning per failed scrape — a dead
+// endpoint must be reported against its URL, not silently folded into
+// zero deltas or an anonymous aggregate.
+func scrapeTargets(ctx context.Context, cfg LoadConfig, phase string) (map[string]map[string]int64, []ScrapeWarning) {
 	out := make(map[string]map[string]int64, len(cfg.Targets))
-	var warns []string
+	var warns []ScrapeWarning
 	for _, target := range cfg.Targets {
 		m, err := scrapeMetrics(ctx, cfg.Client, target)
 		if err != nil {
-			warns = append(warns, fmt.Sprintf("metrics scrape of %s failed: %v (cache counters for this node unavailable)", target, err))
+			warns = append(warns, ScrapeWarning{Target: target, Phase: phase, Err: err.Error()})
 			continue
 		}
 		out[target] = m

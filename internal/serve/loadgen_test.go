@@ -9,6 +9,7 @@ import (
 	"context"
 	"flag"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -146,5 +147,51 @@ func TestLoadSmoke(t *testing.T) {
 	}
 	if opt.P99 >= 10 {
 		t.Errorf("cached /v1/optimal p99 = %.2fms, want < 10ms", opt.P99)
+	}
+}
+
+// TestLoadScrapeWarningsAttributed pins the multi-target warning contract:
+// a dark node's failed /metrics scrapes are attributed to its URL and run
+// phase, and the live node's counters still aggregate — never an anonymous
+// warning, never a silent zero delta.
+func TestLoadScrapeWarningsAttributed(t *testing.T) {
+	_, live := newTestServer(t, Config{})
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close() // traffic and scrapes to this URL now fail at the transport
+
+	report, err := RunLoad(context.Background(), LoadConfig{
+		Targets:  []string{live.URL, deadURL},
+		Clients:  2,
+		Requests: 16,
+		Seed:     3,
+		Client:   live.Client(),
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if len(report.ScrapeWarnings) != 2 {
+		t.Fatalf("got %d scrape warnings, want 2 (before+after for the dead target): %v",
+			len(report.ScrapeWarnings), report.ScrapeWarnings)
+	}
+	phases := map[string]bool{}
+	for _, w := range report.ScrapeWarnings {
+		if w.Target != deadURL {
+			t.Errorf("warning attributed to %q, want the dead target %q", w.Target, deadURL)
+		}
+		if w.Err == "" {
+			t.Errorf("warning for %s has an empty error", w.Target)
+		}
+		phases[w.Phase] = true
+	}
+	if !phases["before"] || !phases["after"] {
+		t.Errorf("warning phases = %v, want both before and after", phases)
+	}
+	if _, ok := report.NodeGridCollections[deadURL]; ok {
+		t.Error("dead target has a per-node collection delta; unknown counters must stay absent")
+	}
+	rendered := report.String()
+	if !strings.Contains(rendered, deadURL) {
+		t.Errorf("rendered report does not name the dark node %s:\n%s", deadURL, rendered)
 	}
 }
