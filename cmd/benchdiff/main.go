@@ -38,11 +38,24 @@ type Result struct {
 }
 
 type Record struct {
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
-	Pkg     string   `json:"pkg,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Meta is the collection-environment provenance benchjson embeds.
+	// Comparison reads only Results: two records that differ solely in
+	// metadata (toolchain, commit, GOMAXPROCS) diff as identical.
+	Meta    Meta     `json:"meta"`
 	Results []Result `json:"results"`
+}
+
+// Meta mirrors cmd/benchjson's provenance block.
+type Meta struct {
+	GoVersion  string `json:"go_version,omitempty"`
+	Goos       string `json:"goos,omitempty"`
+	Goarch     string `json:"goarch,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+	Commit     string `json:"commit,omitempty"`
 }
 
 // Delta is one compared benchmark.

@@ -41,6 +41,33 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 }
 
+func TestCompareIgnoresMeta(t *testing.T) {
+	// Records that differ only in collection provenance — toolchain,
+	// commit, GOMAXPROCS — must diff as identical: the gate compares
+	// measurements, not environments.
+	results := []Result{
+		{Name: "BenchmarkCollect/fine/serial", NsPerOp: 100e6, AllocsPerOp: 100},
+		{Name: "BenchmarkCollect/fine/workers=4", NsPerOp: 30e6, AllocsPerOp: 120},
+	}
+	base := rec(results...)
+	base.Meta = Meta{GoVersion: "go1.22.1", Goos: "linux", Goarch: "amd64", GoMaxProcs: 8, Commit: "aaaa"}
+	head := rec(results...)
+	head.Meta = Meta{GoVersion: "go1.23.0", Goos: "darwin", Goarch: "arm64", GoMaxProcs: 4, Commit: "bbbb"}
+	deltas, onlyBase, onlyHead := compare(base, head, 0.10, nil)
+	if len(onlyBase) != 0 || len(onlyHead) != 0 {
+		t.Fatalf("meta-only difference produced asymmetry: onlyBase=%v onlyHead=%v", onlyBase, onlyHead)
+	}
+	var sb strings.Builder
+	if got := report(&sb, deltas, onlyBase, onlyHead, 0.10); got != 0 {
+		t.Fatalf("meta-only difference produced %d failure(s):\n%s", got, sb.String())
+	}
+	for _, d := range deltas {
+		if d.Regressed || d.NsRatio != 1 || d.AllocRatio != 1 {
+			t.Errorf("meta-only difference moved %s: %+v", d.Name, d)
+		}
+	}
+}
+
 func TestCompareFlagsAllocRegressions(t *testing.T) {
 	base := rec(Result{Name: "B", NsPerOp: 100, AllocsPerOp: 10})
 	head := rec(Result{Name: "B", NsPerOp: 100, AllocsPerOp: 12})

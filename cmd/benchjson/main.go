@@ -11,8 +11,11 @@
 //	BenchmarkVet/serial-8   5   212345678 ns/op   123456 B/op   1234 allocs/op
 //
 // becomes {"name", "procs", "iterations", "ns_per_op", ...}; the goos /
-// goarch / pkg / cpu header lines are captured as run metadata. Stdlib
-// only, matching the repo's no-dependency rule.
+// goarch / pkg / cpu header lines are captured as run metadata, and a
+// "meta" block records the collecting environment (go version, GOOS /
+// GOARCH, GOMAXPROCS, git commit) for provenance — benchdiff ignores it
+// when diffing, so records from different toolchains stay comparable.
+// Stdlib only, matching the repo's no-dependency rule.
 package main
 
 import (
@@ -21,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -35,12 +40,41 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
+// Meta records the environment the run was collected in. It is carried
+// for provenance only: benchdiff compares results by name and never reads
+// this block, so records from different commits or toolchains diff
+// cleanly.
+type Meta struct {
+	GoVersion  string `json:"go_version,omitempty"`
+	Goos       string `json:"goos,omitempty"`
+	Goarch     string `json:"goarch,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+	// Commit is the git HEAD at collection time, empty when git or the
+	// repository is unavailable (e.g. a source tarball).
+	Commit string `json:"commit,omitempty"`
+}
+
+// collectMeta snapshots the collecting process's environment.
+func collectMeta() Meta {
+	m := Meta{
+		GoVersion:  runtime.Version(),
+		Goos:       runtime.GOOS,
+		Goarch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		m.Commit = strings.TrimSpace(string(out))
+	}
+	return m
+}
+
 // Record is the whole run: environment header plus every result.
 type Record struct {
 	Goos    string   `json:"goos,omitempty"`
 	Goarch  string   `json:"goarch,omitempty"`
 	Pkg     string   `json:"pkg,omitempty"`
 	CPU     string   `json:"cpu,omitempty"`
+	Meta    Meta     `json:"meta"`
 	Results []Result `json:"results"`
 }
 
@@ -52,7 +86,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	var rec Record
+	rec := Record{Meta: collectMeta()}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {

@@ -161,6 +161,16 @@ type IntervalEval struct {
 	VarSeed  func(v *types.Var) (Interval, bool)
 	PathSeed func(sel *ast.SelectorExpr) (Interval, bool)
 	Call     func(call *ast.CallExpr) (Interval, bool)
+	// CallEnv is consulted before Call and additionally sees the current
+	// environment, so a hook can propagate argument facts through a callee
+	// (monotone math functions, contract summaries seeded by requires).
+	CallEnv func(call *ast.CallExpr, env *Env[Interval]) (Interval, bool)
+	// CallTuple resolves a multi-result call on the right of a tuple
+	// assignment to per-result intervals, so annotated callees publish
+	// facts for every result instead of clobbering each target to top.
+	// The returned slice must have length n; unknown entries leave the
+	// corresponding target untracked.
+	CallTuple func(call *ast.CallExpr, n int) ([]Interval, bool)
 }
 
 // Interp wraps the evaluator as a fixpoint driver.
@@ -280,6 +290,11 @@ func (ev *IntervalEval) callExpr(call *ast.CallExpr, env *Env[Interval]) Interva
 		}
 		return out
 	case "":
+		if ev.CallEnv != nil {
+			if iv, ok := ev.CallEnv(call, env); ok {
+				return iv.norm()
+			}
+		}
 		if ev.Call != nil {
 			if iv, ok := ev.Call(call); ok {
 				return iv.norm()
@@ -329,8 +344,19 @@ func (ev *IntervalEval) assign(as *ast.AssignStmt, env *Env[Interval]) {
 			}
 			return
 		}
-		// Tuple assignment from a call or comma-ok: results untracked.
+		// Tuple assignment from a call or comma-ok: results untracked
+		// unless the CallTuple hook can summarize the callee per-result.
 		ev.sideEffects(as, env)
+		if ev.CallTuple != nil && len(as.Rhs) == 1 {
+			if call, ok := unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+				if ivs, ok := ev.CallTuple(call, len(as.Lhs)); ok && len(ivs) == len(as.Lhs) {
+					for i, l := range as.Lhs {
+						ev.write(l, ivs[i], contFacts{}, env)
+					}
+					return
+				}
+			}
+		}
 		for _, l := range as.Lhs {
 			ev.write(l, Top(), contFacts{}, env)
 		}
@@ -809,6 +835,13 @@ func (ev *IntervalEval) factSlot(e ast.Expr) (v *types.Var, path string, ok bool
 	return nil, "", false
 }
 
+// ApplyCmp exposes the comparison-intersection primitive for checks that
+// seed environments from declarative facts (the contract check turns each
+// `//vet:requires x > 0` conjunct into ApplyCmp over an unconstrained slot).
+func ApplyCmp(cur Interval, op token.Token, bound Interval, integer bool) Interval {
+	return applyCmp(cur, op, bound, integer)
+}
+
 // applyCmp intersects cur with `x op bound`, with integer endpoint
 // tightening (x < n is x <= n-1 for ints).
 func applyCmp(cur Interval, op token.Token, bound Interval, integer bool) Interval {
@@ -950,9 +983,27 @@ func divIv(a, b Interval, integer bool) Interval {
 	if !a.Known || !b.Known {
 		return Top()
 	}
-	// A divisor interval that straddles zero makes the quotient unbounded,
-	// NonZero or not (values arbitrarily close to zero blow it up).
+	// A divisor interval that straddles zero makes the quotient unbounded —
+	// unless the NonZero bit excludes zero itself, in which case the sign of
+	// the result is still determined when the divisor is sign-definite:
+	// a >= 0 over b in (0, hi] stays >= 0 (unbounded above), and mirrored
+	// for the other sign combinations. That is exactly the fact an
+	// `//vet:ensures ret > 0` on a reciprocal needs.
 	if b.Lo <= 0 && b.Hi >= 0 {
+		if !b.NonZero {
+			return Top()
+		}
+		nz := a.NonZero && !integer // 1/2 == 0: integer quotients reach zero
+		switch {
+		case b.Lo >= 0 && a.Lo >= 0: // b in (0, hi], a >= 0
+			return Interval{Lo: 0, Hi: inf, NonZero: nz, Known: true}.norm()
+		case b.Lo >= 0 && a.Hi <= 0: // b in (0, hi], a <= 0
+			return Interval{Lo: math.Inf(-1), Hi: 0, NonZero: nz, Known: true}.norm()
+		case b.Hi <= 0 && a.Lo >= 0: // b in [lo, 0), a >= 0
+			return Interval{Lo: math.Inf(-1), Hi: 0, NonZero: nz, Known: true}.norm()
+		case b.Hi <= 0 && a.Hi <= 0: // b in [lo, 0), a <= 0
+			return Interval{Lo: 0, Hi: inf, NonZero: nz, Known: true}.norm()
+		}
 		return Top()
 	}
 	q := func(x, y float64) float64 {

@@ -165,6 +165,7 @@ func Suite() []*Analyzer {
 		GuardedByAnalyzer(),
 		AtomicMixAnalyzer(),
 		SpawnEscapeAnalyzer(),
+		ContractAnalyzer(),
 	}
 }
 

@@ -48,6 +48,29 @@ func TestBaselineRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBaselineAbsorbsContract pins that the multiset key covers the
+// contract check: a moved proof-obligation finding is absorbed, while a
+// second occurrence of the same obligation in the same file surfaces.
+func TestBaselineAbsorbsContract(t *testing.T) {
+	msg := `cannot prove requires "durationNS >= 0" of EnergyJ: argument t has range (-inf, +inf)`
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, []Diagnostic{baselineDiag("sim.go", "contract", msg, 300)}); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := ReadBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	head := []Diagnostic{
+		baselineDiag("sim.go", "contract", msg, 310), // moved: absorbed
+		baselineDiag("sim.go", "contract", msg, 340), // second occurrence: NEW
+	}
+	got := b.Filter(head)
+	if len(got) != 1 || got[0].Line != 340 {
+		t.Errorf("Filter kept %v, want only the line-340 occurrence", got)
+	}
+}
+
 // TestBaselineFileStable pins the serialized form: sorted, so consecutive
 // writes of the same findings are byte-identical.
 func TestBaselineFileStable(t *testing.T) {

@@ -24,7 +24,7 @@ var update = flag.Bool("update", false, "rewrite golden files with current outpu
 // fixtures lists every fixture package and the check it exercises.
 var fixtures = []string{"determfix", "unitfix", "floatfix", "ctxfix", "lockfix", "lintfix",
 	"goleakfix", "lockorderfix", "errflowfix", "rangefix", "nilflowfix", "hotpathfix", "ownedfix",
-	"guardedfix", "atomicfix", "spawnfix"}
+	"guardedfix", "atomicfix", "spawnfix", "contractfix"}
 
 // runFixture executes the whole suite, scope-free, over one fixture.
 func runFixture(t *testing.T, name string, disable map[string]bool) string {
@@ -196,6 +196,7 @@ func TestWorkersDeterministicJSON(t *testing.T) {
 			Patterns: []string{
 				"./testdata/src/rangefix", "./testdata/src/nilflowfix",
 				"./testdata/src/determfix", "./testdata/src/goleakfix",
+				"./testdata/src/contractfix",
 			},
 			ScopeAll: true,
 			Workers:  workers,

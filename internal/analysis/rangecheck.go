@@ -65,6 +65,15 @@ type rangeState struct {
 	// paramUnits caches each module function's parameter units for the
 	// negative-quantity check.
 	paramUnits map[*types.Func]*unitSummary
+	// contracts indexes //vet:requires / ensures / invariant annotations.
+	// Requires seed summary entry environments, ensures tighten the computed
+	// summaries, and invariants seed field reads — the contract check's facts
+	// sharpening this check's intervals (and vice versa).
+	contracts *contractIndex
+	// tupleSummaries maps multi-result functions to per-result intervals
+	// derived from their ensures conjuncts, for tuple-assignment call sites
+	// the single-result summary table cannot describe.
+	tupleSummaries map[*types.Func][]absint.Interval
 }
 
 // RangeCheckAnalyzer builds the rangecheck analyzer.
@@ -86,6 +95,8 @@ const summaryRounds = 2
 
 func (st *rangeState) prepare(prog *flow.Program) {
 	st.discoverOPP(prog)
+	st.contracts = collectContracts(prog)
+	st.tupleSummaries = st.ensuresTupleSummaries(prog)
 	st.paramUnits = make(map[*types.Func]*unitSummary, len(prog.Funcs()))
 	for _, fn := range prog.Funcs() {
 		if sum := summarize(fn.Pkg.Info, fn.Decl.Type, fn.Decl.Name.Name); sum != nil {
@@ -104,6 +115,96 @@ func (st *rangeState) prepare(prog *flow.Program) {
 		}
 		st.summaries = next
 	}
+	st.refineWithEnsures(prog)
+}
+
+// refineWithEnsures intersects each function summary with its `ret op const`
+// ensures conjuncts (and creates summaries from ensures alone for functions
+// the interval walk could not summarize). The annotation is a proof
+// obligation discharged by the contract check, so treating it as a fact here
+// is sound modulo a finding the same run would surface.
+func (st *rangeState) refineWithEnsures(prog *flow.Program) {
+	for _, fn := range prog.Funcs() {
+		fc := st.contracts.funcs[fn.Obj]
+		if fc == nil || len(fc.ensures) == 0 {
+			continue
+		}
+		sc := newFuncScope(fn.Obj, fn.Decl)
+		if sc.retIdx < 0 || sc.retVar == nil {
+			continue
+		}
+		basic, isBasic := sc.retVar.Type().Underlying().(*types.Basic)
+		if !isBasic || basic.Info()&types.IsNumeric == 0 {
+			continue
+		}
+		cur, have := st.summaries[fn.Obj]
+		if !have {
+			cur = absint.Range(math.Inf(-1), math.Inf(1))
+		}
+		refined := false
+		for _, cj := range fc.ensConjs() {
+			if !cj.rhs.isConst || len(cj.lhs.path) != 1 {
+				continue
+			}
+			if name := cj.lhs.path[0]; name != "ret" && name != sc.retVar.Name() {
+				continue
+			}
+			nv := absint.ApplyCmp(cur, cj.op, absint.Exact(cj.rhs.val), isIntType(sc.retVar.Type()))
+			if nv.Known {
+				cur, refined = nv, true
+			}
+		}
+		if refined {
+			st.summaries[fn.Obj] = cur
+		}
+	}
+}
+
+// ensuresTupleSummaries turns the ensures conjuncts of multi-result
+// functions into per-result intervals, so tuple assignments from annotated
+// callees keep the published facts instead of clobbering every target to
+// top. Like refineWithEnsures, each annotation is a proof obligation the
+// contract check discharges in the same run.
+func (st *rangeState) ensuresTupleSummaries(prog *flow.Program) map[*types.Func][]absint.Interval {
+	out := map[*types.Func][]absint.Interval{}
+	for _, fn := range prog.Funcs() {
+		fc := st.contracts.funcs[fn.Obj]
+		if fc == nil || len(fc.ensures) == 0 {
+			continue
+		}
+		sc := newFuncScope(fn.Obj, fn.Decl)
+		n := sc.sig.Results().Len()
+		if n < 2 {
+			continue
+		}
+		ivs := make([]absint.Interval, n)
+		refined := false
+		for _, cj := range fc.ensConjs() {
+			if !cj.rhs.isConst || len(cj.lhs.path) != 1 {
+				continue
+			}
+			idx, ok := sc.resultIdx[cj.lhs.path[0]]
+			if !ok {
+				continue
+			}
+			r := sc.sig.Results().At(idx)
+			basic, isBasic := r.Type().Underlying().(*types.Basic)
+			if !isBasic || basic.Info()&types.IsNumeric == 0 {
+				continue
+			}
+			cur := ivs[idx]
+			if !cur.Known {
+				cur = absint.Range(math.Inf(-1), math.Inf(1))
+			}
+			if nv := absint.ApplyCmp(cur, cj.op, absint.Exact(cj.rhs.val), isIntType(r.Type())); nv.Known {
+				ivs[idx], refined = nv, true
+			}
+		}
+		if refined {
+			out[fn.Obj] = ivs
+		}
+	}
+	return out
 }
 
 // discoverOPP folds the constant bounds of every freq.Ladder(lo, hi, step)
@@ -180,7 +281,10 @@ func (st *rangeState) resultInterval(fn *flow.Func, prev map[*types.Func]absint.
 	info := fn.Pkg.Info
 	ev := st.newEval(info, prev)
 	cfg := fn.CFG()
-	envs := ev.Interp().Analyze(cfg, absint.NewEnv[absint.Interval]())
+	// The entry environment carries the function's own requires and its
+	// receiver's invariants: a summary is the callee's view, and the callee
+	// may assume its contract (call sites discharge it).
+	envs := ev.Interp().Analyze(cfg, st.contracts.entryEnv(fn.Obj, fn.Decl, ev))
 	joined := absint.Interval{}
 	first := true
 	lat := absint.IntervalLattice{}
@@ -228,7 +332,13 @@ func (st *rangeState) newEval(info *types.Info, summaries map[*types.Func]absint
 			if unit == "" {
 				unit = suffixUnit(v.Name())
 			}
-			return st.unitSeed(unit)
+			if iv, ok := st.unitSeed(unit); ok {
+				return iv, true
+			}
+			if isUnsignedType(v.Type()) {
+				return absint.Range(0, math.Inf(1)), true
+			}
+			return absint.Top(), false
 		},
 		PathSeed: func(sel *ast.SelectorExpr) (absint.Interval, bool) {
 			unit := ""
@@ -238,7 +348,51 @@ func (st *rangeState) newEval(info *types.Info, summaries map[*types.Func]absint
 			if unit == "" {
 				unit = suffixUnit(sel.Sel.Name)
 			}
-			return st.unitSeed(unit)
+			iv, ok := st.unitSeed(unit)
+			if !ok {
+				if tv, okt := info.Types[sel]; okt && tv.Type != nil && isUnsignedType(tv.Type) {
+					iv, ok = absint.Range(0, math.Inf(1)), true
+				}
+			}
+			// A //vet:invariant on the base type narrows the field further.
+			return st.contracts.invariantFieldSeed(info, sel, iv, ok)
+		},
+		CallEnv: func(call *ast.CallExpr, env *absint.Env[absint.Interval]) (absint.Interval, bool) {
+			// Monotone math functions map argument bounds to result bounds —
+			// the fact that lets int(math.Round(x)) keep x's sign.
+			obj := flow.CalleeObj(info, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "math" || len(call.Args) != 1 {
+				return absint.Top(), false
+			}
+			var f func(float64) float64
+			switch obj.Name() {
+			case "Round":
+				f = math.Round
+			case "Floor":
+				f = math.Floor
+			case "Ceil":
+				f = math.Ceil
+			case "Trunc":
+				f = math.Trunc
+			default:
+				return absint.Top(), false
+			}
+			x := ev.Expr(call.Args[0], env)
+			if !x.Known {
+				return absint.Top(), false
+			}
+			return absint.Range(f(x.Lo), f(x.Hi)), true
+		},
+		CallTuple: func(call *ast.CallExpr, n int) ([]absint.Interval, bool) {
+			obj := flow.CalleeObj(info, call)
+			if obj == nil {
+				return nil, false
+			}
+			ivs, ok := st.tupleSummaries[obj]
+			if !ok || len(ivs) != n {
+				return nil, false
+			}
+			return ivs, true
 		},
 		Call: func(call *ast.CallExpr) (absint.Interval, bool) {
 			obj := flow.CalleeObj(info, call)
@@ -339,16 +493,18 @@ func (st *rangeState) run(pass *Pass) {
 // against the three finding classes.
 func (st *rangeState) checkFunc(pass *Pass, ev *absint.IntervalEval, fd *ast.FuncDecl) {
 	var cfg *flow.CFG
+	entry := absint.NewEnv[absint.Interval]()
 	if obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
 		if fn := pass.Prog.FuncOf(obj); fn != nil {
 			cfg = fn.CFG()
 		}
+		entry = st.contracts.entryEnv(obj, fd, ev)
 	}
 	if cfg == nil {
 		cfg = flow.New(fd)
 	}
 	it := ev.Interp()
-	envs := it.Analyze(cfg, absint.NewEnv[absint.Interval]())
+	envs := it.Analyze(cfg, entry)
 	for _, blk := range cfg.Blocks {
 		entry := envs[blk]
 		if entry == nil {

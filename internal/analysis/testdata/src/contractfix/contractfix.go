@@ -1,0 +1,158 @@
+// Package contractfix exercises the contract check: //vet:requires /
+// //vet:ensures / //vet:invariant annotations proven by the interval
+// interpreter. Positive cases violate an obligation outright or leave it
+// unproven; clean cases show the refinements — requires seeding, branch
+// guards, invariant field facts, the evidence rule for top arguments —
+// that discharge the proof; malformed annotations are diagnosed rather
+// than silently ignored.
+package contractfix
+
+// Clamp is clean: the guard proves the ensures on both return paths —
+// the first returns the seeded lower bound, the second is refined by the
+// failed comparison.
+//
+//vet:requires lo >= 0
+//vet:ensures ret >= 0
+func Clamp(x, lo float64) float64 {
+	if x < lo {
+		return lo
+	}
+	return x
+}
+
+// Leak is reported: the requires bounds x below by zero, so x - 1 still
+// admits [-1, 0) and the strict ensures stays unproven.
+//
+//vet:requires x >= 0
+//vet:ensures ret > 0
+func Leak(x float64) float64 {
+	return x - 1
+}
+
+// Negated violates its ensures outright: the returned literal is provably
+// negative on the only path.
+//
+//vet:ensures ret >= 0
+func Negated() float64 {
+	return -1
+}
+
+// Burn is clean: the W suffix seeds powerW non-negative and the requires
+// covers the duration, so the product proves the ensures.
+//
+//vet:requires durationNS >= 0
+//vet:ensures ret >= 0
+func Burn(powerW, durationNS float64) float64 {
+	return powerW * durationNS * 1e-9
+}
+
+// Calls is reported twice: the literal provably violates Burn's requires,
+// and the clamped dt is known only as (-inf, 5] — evidence without proof.
+func Calls(dt float64) float64 {
+	if dt > 5 {
+		dt = 5
+	}
+	e := Burn(1.5, -1)
+	e += Burn(1.5, dt)
+	return e
+}
+
+// CallTop is clean by design: a top argument carries no evidence, and the
+// call-site check reports only what the intervals can actually say.
+func CallTop(d float64) float64 {
+	return Burn(1.5, d)
+}
+
+// Waived is suppressed: the waiver names the sentinel convention.
+func Waived() float64 {
+	return Clamp(3, -1) //lint:allow contract the -1 is an out-of-band sentinel this fixture pretends the callee maps to zero
+}
+
+// Gauge carries a field invariant its mutating methods must re-prove.
+//
+//vet:invariant level >= 0 && level <= 1
+type Gauge struct {
+	level float64
+}
+
+// Fill is clean: the clamps re-establish both invariant bounds before
+// exit.
+func (g *Gauge) Fill(amount float64) {
+	g.level += amount
+	if g.level > 1 {
+		g.level = 1
+	}
+	if g.level < 0 {
+		g.level = 0
+	}
+}
+
+// Drain is reported: the subtraction can push level below zero and
+// nothing re-proves the floor.
+func (g *Gauge) Drain(amount float64) {
+	g.level -= amount
+}
+
+// Poison is reported: the written value provably violates the ceiling.
+func (g *Gauge) Poison() {
+	g.level = 2
+}
+
+// Hz is a scalar named type whose contract constrains the receiver.
+type Hz float64
+
+// Period is clean: the requires makes the receiver a positive divisor and
+// the NonZero bit carries the sign through the division.
+//
+//vet:requires h > 0
+//vet:ensures ret > 0
+func (h Hz) Period() float64 {
+	return 1 / float64(h)
+}
+
+// UseHz is reported: the zero-valued receiver provably violates Period's
+// requires.
+func UseHz() float64 {
+	var h Hz
+	return h.Period()
+}
+
+// BadExpr is reported as malformed: two comparison operators in one
+// conjunct.
+//
+//vet:requires x > 0 < 1
+func BadExpr(x float64) float64 {
+	return x
+}
+
+// BadRoot is reported as malformed: the operand names nothing in the
+// function's scope.
+//
+//vet:requires nosuch > 0
+func BadRoot(x float64) float64 {
+	return x
+}
+
+// Misplaced is reported: invariants annotate struct types, not functions.
+//
+//vet:invariant x > 0
+func Misplaced(x float64) float64 {
+	return x
+}
+
+// Shifted is reported: requires/ensures annotate functions, not types.
+//
+//vet:requires x > 0
+type Shifted struct {
+	x float64
+}
+
+// Scalar is reported: invariants apply only to struct types.
+//
+//vet:invariant v > 0
+type Scalar float64
+
+//vet:frobnicate x > 0
+func UnknownVerb(x float64) float64 {
+	return x
+}

@@ -46,7 +46,7 @@ func TestSuffixUnit(t *testing.T) {
 // //lint:allow vocabulary, so renaming one silently orphans every waiver.
 func TestSuiteNamesStable(t *testing.T) {
 	want := []string{"determinism", "units", "floateq", "ctx", "lockcopy", "goleak", "lockorder", "errflow", "rangecheck", "nilflow", "hotpath", "owned",
-		"guardedby", "atomicmix", "spawnescape"}
+		"guardedby", "atomicmix", "spawnescape", "contract"}
 	suite := Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d checks, want %d", len(suite), len(want))

@@ -166,6 +166,7 @@ type Coeffs struct {
 // CoeffsAt hoists the power-model invariants for frequency f.
 //
 //vet:hotpath
+//vet:requires f > 0
 func (m *Model) CoeffsAt(f freq.MHz) (Coeffs, error) {
 	v, err := m.p.OPPs.VoltageAt(f)
 	if err != nil {
@@ -183,6 +184,9 @@ func (m *Model) CoeffsAt(f freq.MHz) (Coeffs, error) {
 
 // EnergyJ is the hoisted Model.Energy: joules over durationNS at the
 // hoisted operating point with the given average activity.
+//
+//vet:requires activity >= 0 && activity <= 1 && durationNS >= 0
+//vet:ensures ret >= 0
 func (c Coeffs) EnergyJ(activity, durationNS float64) float64 {
 	dyn := c.PeakClockedW * activity
 	return (dyn + c.BackgroundW + c.LeakageW) * durationNS * 1e-9

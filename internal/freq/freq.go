@@ -30,6 +30,9 @@ func (f MHz) CyclesPerNS() float64 { return float64(f) * 1e-3 }
 
 // PeriodNS returns the clock period in nanoseconds. It panics for
 // non-positive frequencies, which are always a programming error.
+//
+//vet:requires f > 0
+//vet:ensures ret > 0
 func (f MHz) PeriodNS() float64 {
 	if f <= 0 {
 		panic(fmt.Sprintf("freq: period of non-positive frequency %v", f))
@@ -55,6 +58,8 @@ func (v Volts) String() string { return fmt.Sprintf("%.3fV", float64(v)) }
 // Ladder returns the inclusive arithmetic sequence lo, lo+step, …, hi.
 // It panics if the arguments cannot produce a non-empty ladder, since
 // ladders are build-time configuration.
+//
+//vet:requires step > 0 && hi >= lo
 func Ladder(lo, hi, step MHz) []MHz {
 	if step <= 0 {
 		panic(fmt.Sprintf("freq: non-positive ladder step %v", step))

@@ -64,6 +64,8 @@ func (c Counters) Validate() error {
 
 // CrossComponent is the online-learned predictor. It is not safe for
 // concurrent use; each governor owns one.
+//
+//vet:invariant forget > 0.8 && forget <= 1
 type CrossComponent struct {
 	cpu  *cpupower.Model
 	mem  *dram.EnergyModel
@@ -126,7 +128,9 @@ func (m *CrossComponent) reset() {
 func (m *CrossComponent) Ready() bool { return m.nObs >= 2 }
 
 // Alpha returns the current compute-cycles-per-instruction estimate.
-func (m *CrossComponent) Alpha() float64 { return m.theta[0] }
+//
+//vet:ensures ret >= 0.05
+func (m *CrossComponent) Alpha() float64 { return m.theta[0] } //lint:allow contract the 0.05 floor is enforced by Observe's clamp on theta[0], an array slot the interval domain does not track across methods
 
 // Beta returns the current stall-exposure estimate (≈ 1/MLP).
 func (m *CrossComponent) Beta() float64 { return m.theta[1] }

@@ -84,6 +84,8 @@ func NoiselessConfig() Config {
 
 // System simulates one platform. It is safe for concurrent use: all state
 // is immutable after construction.
+//
+//vet:invariant cpiFactor >= 0.1 && cpiFactor <= 10 && lineBursts >= 1
 type System struct {
 	cpu        *cpupower.Model
 	mem        *dram.EnergyModel
@@ -174,6 +176,8 @@ const coldStart = -1.0
 // rate and the setting's contribution to the noise hash. Deriving it once
 // per setting-column is what makes the batch engine fast — the fixed-point
 // loop then runs on a handful of local float64s.
+//
+//vet:invariant cyclesPerNS > 0
 type settingConsts struct {
 	st          freq.Setting
 	cyclesPerNS float64
@@ -238,6 +242,9 @@ func validateSpec(spec workload.SampleSpec) error {
 // The loop body mirrors the retained scalar reference (reference.go)
 // operation-for-operation, so identical seeds produce bit-identical times.
 // iters reports the iterations consumed, the currency warm starts save.
+//
+//vet:requires computeNS >= 0 && accesses >= 0 && mlp >= 1 && coreNS >= 0 && serviceNS >= 0 && bwBoundNS >= 0
+//vet:ensures timeNS >= 0
 func solveTimeNS(computeNS, accesses, mlp, coreNS, serviceNS, bwBoundNS float64, lat memctrl.Coeffs, seedNS float64) (timeNS float64, iters int, converged bool) {
 	t := seedNS
 	if seedNS < 0 {
@@ -285,7 +292,11 @@ func (s *System) SimulateSample(spec workload.SampleSpec, st freq.Setting) (Samp
 
 // simulateOne solves one validated sample at one hoisted setting, returning
 // the finished sample and the pre-noise converged time (the warm-start seed
-// for the neighboring operating point).
+// for the neighboring operating point). The requires restate validateSpec:
+// callers hold a validated spec (the batch engine validates at Runner
+// construction, SimulateSample per call).
+//
+//vet:requires spec.BaseCPI > 0 && spec.MPKI >= 0 && spec.MLP >= 1 && spec.RowHitRate >= 0 && spec.RowHitRate <= 1 && spec.WriteFrac >= 0 && spec.WriteFrac <= 1
 func (s *System) simulateOne(spec workload.SampleSpec, c settingConsts, seedNS float64) (Sample, float64) {
 	n := float64(spec.Instructions)
 	accesses := n * spec.MPKI / 1000
